@@ -1,0 +1,151 @@
+package lhmm
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section (§V). Each benchmark regenerates its artifact on
+// the synthetic-Hangzhou and synthetic-Xiamen presets and prints the
+// rendered rows/series once, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full experiment suite. Suites (datasets + trained
+// models) are built lazily and shared across benchmarks.
+//
+// Scale knobs: LHMM_BENCH_SCALE (default 0.04) and LHMM_BENCH_TRIPS
+// (default 220) size the synthetic cities; the defaults keep the whole
+// suite tractable on one machine while preserving the paper's result
+// shape (see EXPERIMENTS.md).
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+var (
+	benchOnce sync.Once
+	benchHZ   *Suite
+	benchXM   *Suite
+
+	printedMu sync.Mutex
+	printed   = map[string]bool{}
+)
+
+func benchScale() float64 {
+	if v := os.Getenv("LHMM_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.04
+}
+
+func benchTrips() int {
+	if v := os.Getenv("LHMM_BENCH_TRIPS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 220
+}
+
+func suites() (*Suite, *Suite) {
+	benchOnce.Do(func() {
+		scale, trips := benchScale(), benchTrips()
+		benchHZ = NewSuite(eval.DefaultSuite("hangzhou", scale, trips))
+		benchXM = NewSuite(eval.DefaultSuite("xiamen", scale, trips))
+	})
+	return benchHZ, benchXM
+}
+
+// runExperiment executes the experiment once per benchmark iteration
+// and prints its rendering the first time.
+func runExperiment(b *testing.B, id string, both bool) {
+	b.Helper()
+	hz, xm := suites()
+	secondary := xm
+	if !both {
+		secondary = nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := RunExperiment(id, hz, secondary)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		printedMu.Lock()
+		if !printed[id] {
+			printed[id] = true
+			fmt.Printf("\n%s\n", out)
+		}
+		printedMu.Unlock()
+	}
+}
+
+// BenchmarkTable1 regenerates Table I (dataset characteristics) for
+// both synthetic datasets.
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1", true) }
+
+// BenchmarkTable2 regenerates Table II (overall performance of all 11
+// methods) on both datasets.
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2", true) }
+
+// BenchmarkTable3 regenerates Table III (ablations) on both datasets.
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3", true) }
+
+// BenchmarkFigure7a regenerates Fig. 7(a): accuracy vs. distance to
+// the city center.
+func BenchmarkFigure7a(b *testing.B) { runExperiment(b, "fig7a", false) }
+
+// BenchmarkFigure7b regenerates Fig. 7(b): accuracy vs. sampling rate.
+func BenchmarkFigure7b(b *testing.B) { runExperiment(b, "fig7b", false) }
+
+// BenchmarkFigure8 regenerates Fig. 8: accuracy vs. candidate number k.
+func BenchmarkFigure8(b *testing.B) { runExperiment(b, "fig8", false) }
+
+// BenchmarkFigure9 regenerates Fig. 9: accuracy vs. shortcut number K.
+func BenchmarkFigure9(b *testing.B) { runExperiment(b, "fig9", false) }
+
+// BenchmarkFigure10a regenerates Fig. 10(a): accuracy vs. per-tower
+// data scale (retrains at each level).
+func BenchmarkFigure10a(b *testing.B) { runExperiment(b, "fig10a", false) }
+
+// BenchmarkFigure10b regenerates Fig. 10(b): accuracy vs. total
+// historical data scale (retrains at each level).
+func BenchmarkFigure10b(b *testing.B) { runExperiment(b, "fig10b", false) }
+
+// BenchmarkFigure11 regenerates Fig. 11: the hardest-trip case study.
+func BenchmarkFigure11(b *testing.B) { runExperiment(b, "fig11", false) }
+
+// BenchmarkFidelity validates the ground-truth substitution: the
+// paper's label recipe (classical HMM over GPS, §V-A1) must recover
+// the simulator's true paths (DESIGN.md §2).
+func BenchmarkFidelity(b *testing.B) { runExperiment(b, "fidelity", true) }
+
+// BenchmarkMatchOne measures single-trajectory matching latency with
+// the trained LHMM (the per-trajectory cost behind Table II's Avg
+// Time column).
+func BenchmarkMatchOne(b *testing.B) {
+	hz, _ := suites()
+	model, err := hz.LHMM()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := hz.Dataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	trips := ds.TestTrips()
+	if len(trips) == 0 {
+		b.Fatal("no test trips")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Match(trips[i%len(trips)].Cell); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

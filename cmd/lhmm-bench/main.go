@@ -1,0 +1,86 @@
+// Command lhmm-bench regenerates the paper's tables and figures on the
+// synthetic datasets.
+//
+// Usage:
+//
+//	lhmm-bench -exp table2                 # one experiment
+//	lhmm-bench -exp all -scale 0.05        # the whole evaluation section
+//
+// Experiments: table1 table2 table3 fig7a fig7b fig8 fig9 fig10a
+// fig10b fig11. Results print to stdout; -out duplicates them to a
+// file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	lhmm "repro"
+	"repro/internal/eval"
+	"repro/internal/geo"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	scale := flag.Float64("scale", 0.04, "city scale in (0, 1]")
+	trips := flag.Int("trips", 220, "trips per dataset")
+	out := flag.String("out", "", "also write results to this file")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lhmm-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	hz := lhmm.NewSuite(lhmm.DefaultSuite("hangzhou", *scale, *trips))
+	xm := lhmm.NewSuite(lhmm.DefaultSuite("xiamen", *scale, *trips))
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = eval.ExperimentNames
+	}
+	for _, id := range ids {
+		start := time.Now()
+		text, err := lhmm.RunExperiment(id, hz, xm)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lhmm-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "== %s (%.1fs) ==\n%s\n", id, time.Since(start).Seconds(), text)
+		if id == "fig11" {
+			if err := writeFig11Artifacts(hz); err != nil {
+				fmt.Fprintf(os.Stderr, "lhmm-bench: fig11 artifacts: %v\n", err)
+			}
+		}
+	}
+}
+
+// writeFig11Artifacts saves the case study as SVG and GeoJSON files
+// alongside the text rendering.
+func writeFig11Artifacts(s *lhmm.Suite) error {
+	cs, err := eval.Figure11(s)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("fig11.svg", cs.SVG(900), 0o644); err != nil {
+		return err
+	}
+	gj, err := cs.GeoJSON(geo.Anchor{Origin: geo.LatLon{Lat: 30.25, Lon: 120.17}})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("fig11.geojson", gj, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("case study artifacts -> fig11.svg, fig11.geojson")
+	return nil
+}

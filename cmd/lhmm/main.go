@@ -1,0 +1,290 @@
+// Command lhmm is the end-to-end CLI for the LHMM reproduction:
+// generate synthetic datasets, train models, match trajectories, and
+// evaluate methods.
+//
+// Usage:
+//
+//	lhmm datagen -preset hangzhou -scale 0.05 -trips 200 -out data.json
+//	lhmm train   -data data.json -model model.json
+//	lhmm match   -data data.json -model model.json -trip 3 [-geojson out.geojson]
+//	lhmm eval    -data data.json -model model.json [-methods LHMM,STM,THMM]
+//
+// All generation is deterministic given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	lhmm "repro"
+	"repro/internal/eval"
+	"repro/internal/geo"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+	"repro/internal/traj"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "datagen":
+		err = cmdDatagen(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "match":
+		err = cmdMatch(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lhmm:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lhmm <command> [flags]
+
+commands:
+  datagen   generate a synthetic paired cellular+GPS dataset
+  train     train an LHMM on a dataset's training split
+  match     match one test trajectory and report metrics
+  eval      evaluate methods on the test split`)
+}
+
+func cmdDatagen(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ExitOnError)
+	preset := fs.String("preset", "hangzhou", "dataset preset: hangzhou or xiamen")
+	scale := fs.Float64("scale", 0.05, "city scale in (0, 1]")
+	trips := fs.Int("trips", 200, "number of trips to simulate")
+	seed := fs.Int64("seed", 0, "override the preset RNG seed (0 keeps it)")
+	out := fs.String("out", "dataset.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cfg synth.DatasetConfig
+	switch *preset {
+	case "xiamen":
+		cfg = lhmm.SyntheticXiamen(*scale, *trips)
+	case "hangzhou":
+		cfg = lhmm.SyntheticHangzhou(*scale, *trips)
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	ds, err := lhmm.GenerateDataset(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := traj.WriteDataset(f, ds); err != nil {
+		return err
+	}
+	st := ds.ComputeStats()
+	fmt.Printf("wrote %s: %d road segments, %d intersections, %d towers, %d trips (%d/%d/%d split)\n",
+		*out, st.RoadSegments, st.Intersections, ds.Cells.NumTowers(), len(ds.Trips),
+		len(ds.Train), len(ds.Valid), len(ds.Test))
+	fmt.Printf("cellular: %.0f pts/trajectory, avg interval %.0fs, avg sampling distance %.0fm\n",
+		st.CellPointsPerTraj, st.AvgCellIntervalSec, st.AvgCellSampleDistM)
+	return nil
+}
+
+func loadDataset(path string) (*traj.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return traj.ReadDataset(f)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	data := fs.String("data", "dataset.json", "dataset file from `lhmm datagen`")
+	out := fs.String("model", "model.json", "output model weights file")
+	dim := fs.Int("dim", 32, "embedding dimension")
+	epochs := fs.Int("epochs", 4, "phase-1 training epochs")
+	k := fs.Int("k", 30, "candidates per point")
+	seed := fs.Int64("seed", 1, "training seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := loadDataset(*data)
+	if err != nil {
+		return err
+	}
+	cfg := lhmm.DefaultConfig()
+	cfg.Dim = *dim
+	cfg.Epochs = *epochs
+	cfg.K = *k
+	cfg.Seed = *seed
+	model, err := lhmm.Train(ds, cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := model.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained LHMM (dim %d, %d epochs) on %d trips; weights -> %s\n",
+		*dim, *epochs, len(ds.Train), *out)
+	return nil
+}
+
+// loadModel rebuilds the model skeleton for the dataset and restores
+// saved weights.
+func loadModel(ds *traj.Dataset, path string, dim, k int, seed int64) (*lhmm.Model, error) {
+	cfg := lhmm.DefaultConfig()
+	cfg.Dim = dim
+	cfg.K = k
+	cfg.Seed = seed
+	model, err := lhmm.NewModel(ds, ds.TrainTrips(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return model, model.Load(f)
+}
+
+func cmdMatch(args []string) error {
+	fs := flag.NewFlagSet("match", flag.ExitOnError)
+	data := fs.String("data", "dataset.json", "dataset file")
+	modelPath := fs.String("model", "model.json", "model weights file")
+	trip := fs.Int("trip", 0, "test-trip index to match")
+	dim := fs.Int("dim", 32, "embedding dimension the model was trained with")
+	k := fs.Int("k", 30, "candidates per point")
+	seed := fs.Int64("seed", 1, "seed the model was trained with")
+	geojson := fs.String("geojson", "", "optional GeoJSON output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := loadDataset(*data)
+	if err != nil {
+		return err
+	}
+	model, err := loadModel(ds, *modelPath, *dim, *k, *seed)
+	if err != nil {
+		return err
+	}
+	tests := ds.TestTrips()
+	if *trip < 0 || *trip >= len(tests) {
+		return fmt.Errorf("trip index %d out of range (have %d test trips)", *trip, len(tests))
+	}
+	tr := tests[*trip]
+	res, err := model.Match(tr.Cell)
+	if err != nil {
+		return err
+	}
+	pm := lhmm.EvalPath(ds.Net, res.Path, tr.Path, 50)
+	fmt.Printf("trip %d: %d cellular points -> %d road segments\n", tr.ID, len(tr.Cell), len(res.Path))
+	fmt.Printf("precision %.3f  recall %.3f  RMF %.3f  CMF50 %.3f\n",
+		pm.Precision, pm.Recall, pm.RMF, pm.CMF)
+	skips := 0
+	for _, s := range res.Skipped {
+		if s {
+			skips++
+		}
+	}
+	fmt.Printf("shortcut skips: %d of %d points\n", skips, len(res.Skipped))
+	if *geojson != "" {
+		cs := caseFor(ds, tr, res.Path)
+		data, err := cs.GeoJSON(geo.Anchor{Origin: geo.LatLon{Lat: 30.25, Lon: 120.17}})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*geojson, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("geometry -> %s\n", *geojson)
+	}
+	return nil
+}
+
+func caseFor(ds *traj.Dataset, tr *traj.Trip, path []lhmm.SegmentID) *eval.CaseStudy {
+	return &eval.CaseStudy{
+		TripID:  tr.ID,
+		Truth:   tr.PathGeom,
+		Cell:    tr.Cell.Positions(),
+		Matched: map[string]geo.Polyline{"LHMM": metrics.PathGeometry(ds.Net, path)},
+		CMF:     map[string]float64{"LHMM": lhmm.EvalPath(ds.Net, path, tr.Path, 50).CMF},
+	}
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	data := fs.String("data", "dataset.json", "dataset file")
+	modelPath := fs.String("model", "", "LHMM weights (omit to evaluate baselines only)")
+	methods := fs.String("methods", "LHMM,STM,THMM", "comma-separated methods (Table II names)")
+	dim := fs.Int("dim", 32, "embedding dimension the model was trained with")
+	k := fs.Int("k", 30, "candidates per point")
+	seed := fs.Int64("seed", 1, "seed the model was trained with")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := loadDataset(*data)
+	if err != nil {
+		return err
+	}
+
+	var rows []eval.Row
+	for _, name := range strings.Split(*methods, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		var m lhmm.Method
+		if name == "LHMM" {
+			if *modelPath == "" {
+				return fmt.Errorf("method LHMM requires -model")
+			}
+			model, err := loadModel(ds, *modelPath, *dim, *k, *seed)
+			if err != nil {
+				return err
+			}
+			m = lhmm.AsMethod("LHMM", model)
+		} else {
+			m, err = methodByName(ds, name)
+			if err != nil {
+				return err
+			}
+		}
+		summary, _ := eval.EvaluateMethod(ds, m, ds.TestTrips(), 50)
+		rows = append(rows, eval.Row{Method: name, Summary: summary})
+	}
+	fmt.Print(eval.FormatRows(fmt.Sprintf("evaluation on %s (%d test trips)", ds.Name, len(ds.Test)), rows))
+	return nil
+}
+
+// methodByName builds a non-learned baseline directly over the loaded
+// dataset (seq2seq baselines need training and are exercised by
+// cmd/lhmm-bench instead).
+func methodByName(ds *traj.Dataset, name string) (lhmm.Method, error) {
+	router := lhmm.NewRouter(ds.Net)
+	if name == "HMM" {
+		return lhmm.ClassicalMatcher(ds.Net, router, 45, 450, 500), nil
+	}
+	return eval.BaselineByName(ds, router, name)
+}

@@ -1,0 +1,60 @@
+// Robustness study: how does matching accuracy degrade as the cellular
+// sampling rate drops (the paper's Fig. 7(b) experiment), and how does
+// LHMM compare against the classical HMM under the same degradation?
+//
+// Run with:
+//
+//	go run ./examples/robustness-study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lhmm "repro"
+)
+
+func main() {
+	ds, err := lhmm.GenerateDataset(lhmm.SyntheticXiamen(0.05, 140))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := lhmm.DefaultConfig()
+	cfg.Dim = 16
+	cfg.Epochs = 2
+	cfg.K = 15
+	model, err := lhmm.Train(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	learned := lhmm.AsMethod("LHMM", model)
+	classical := lhmm.ClassicalMatcher(ds.Net, lhmm.NewRouter(ds.Net), 20, 450, 500)
+
+	fmt.Println("CMF50 (lower is better) as the sampling rate decreases:")
+	fmt.Printf("%-22s %10s %14s\n", "rate (samples/min)", "LHMM", "classical HMM")
+	for _, rate := range []float64{1.4, 1.0, 0.6, 0.3} {
+		minGap := 60.0 / rate
+		// Build resampled copies of the test trips.
+		var resampled []lhmm.Trip
+		for _, tr := range ds.TestTrips() {
+			rt := *tr
+			rt.Cell = tr.Cell.Resample(minGap)
+			if len(rt.Cell) >= 2 {
+				resampled = append(resampled, rt)
+			}
+		}
+		trips := make([]*lhmm.Trip, len(resampled))
+		for i := range resampled {
+			trips[i] = &resampled[i]
+		}
+		if len(trips) == 0 {
+			continue
+		}
+		sLearned := lhmm.Evaluate(ds, learned, trips, 50)
+		sClassical := lhmm.Evaluate(ds, classical, trips, 50)
+		fmt.Printf("%-22.1f %10.3f %14.3f\n", rate, sLearned.CMF, sClassical.CMF)
+	}
+	fmt.Println("\nThe learned probabilities degrade more slowly: trajectory context")
+	fmt.Println("and co-occurrence knowledge compensate for missing samples, while")
+	fmt.Println("the classical model has only spatial distance to lean on (§V-D).")
+}

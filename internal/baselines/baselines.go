@@ -1,0 +1,79 @@
+// Package baselines re-implements the comparison methods of the
+// paper's Table II on this repository's substrate: the GPS-era HMM
+// matchers (STM, IVMM, IFM, MCM), the CTMM-tailored HMM matchers
+// (CLSTERS, SNet, THMM), and the seq2seq family (DeepMM,
+// TransformerMM, DMM). Each captures the defining idea of its original
+// at the fidelity Table II's relative comparison requires (see
+// DESIGN.md §4).
+package baselines
+
+import (
+	"repro/internal/hmm"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// Output is a matching result in method-neutral form.
+type Output struct {
+	Path []roadnet.SegmentID
+	// Candidates holds the candidate segments per point for
+	// HMM-family methods (hitting-ratio evaluation); nil otherwise.
+	Candidates [][]roadnet.SegmentID
+}
+
+// Method is a map-matching algorithm under evaluation.
+type Method interface {
+	Name() string
+	Match(ct traj.CellTrajectory) (*Output, error)
+}
+
+// hmmMethod wraps an hmm.Matcher as a Method.
+type hmmMethod struct {
+	name    string
+	matcher *hmm.Matcher
+}
+
+// NewHMMMethod adapts a configured hmm.Matcher.
+func NewHMMMethod(name string, m *hmm.Matcher) Method {
+	return &hmmMethod{name: name, matcher: m}
+}
+
+func (h *hmmMethod) Name() string { return h.name }
+
+func (h *hmmMethod) Match(ct traj.CellTrajectory) (*Output, error) {
+	res, err := h.matcher.Match(ct)
+	if err != nil {
+		return nil, err
+	}
+	return resultToOutput(res), nil
+}
+
+// resultToOutput converts an hmm.Result.
+func resultToOutput(res *hmm.Result) *Output {
+	out := &Output{Path: res.Path, Candidates: make([][]roadnet.SegmentID, len(res.Candidates))}
+	for i, layer := range res.Candidates {
+		segs := make([]roadnet.SegmentID, len(layer))
+		for j, c := range layer {
+			segs[j] = c.Seg
+		}
+		out.Candidates[i] = segs
+	}
+	return out
+}
+
+// FuncMethod adapts a closure as a Method (used for LHMM and simple
+// variants in the evaluation harness).
+type FuncMethod struct {
+	MethodName string
+	Fn         func(ct traj.CellTrajectory) (*Output, error)
+}
+
+// Name returns the method name.
+func (f *FuncMethod) Name() string { return f.MethodName }
+
+// Match invokes the closure.
+func (f *FuncMethod) Match(ct traj.CellTrajectory) (*Output, error) { return f.Fn(ct) }
+
+// ResultToOutput exposes the hmm.Result conversion for adapters outside
+// this package.
+func ResultToOutput(res *hmm.Result) *Output { return resultToOutput(res) }

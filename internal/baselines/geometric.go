@@ -1,0 +1,64 @@
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// geometricMethod is the classical point-to-curve geometric matcher of
+// the pre-HMM literature (the paper's related work, [21]–[23]): each
+// point snaps independently to its nearest road segment, and the
+// snapped segments are connected by shortest paths. It has no noise
+// model at all, making it the natural lower-bound reference for every
+// probabilistic method in this repository.
+type geometricMethod struct {
+	net    *roadnet.Network
+	router *roadnet.Router
+}
+
+// NewGeometric builds the nearest-road geometric matcher.
+func NewGeometric(net *roadnet.Network, router *roadnet.Router) Method {
+	return &geometricMethod{net: net, router: router}
+}
+
+func (g *geometricMethod) Name() string { return "Geometric" }
+
+func (g *geometricMethod) Match(ct traj.CellTrajectory) (*Output, error) {
+	if len(ct) == 0 {
+		return nil, fmt.Errorf("baselines: empty trajectory")
+	}
+	snapped := make([]roadnet.PointOnRoad, len(ct))
+	cands := make([][]roadnet.SegmentID, len(ct))
+	for i, p := range ct {
+		near := g.net.SegmentsNear(p.P, 1)
+		if len(near) == 0 {
+			return nil, fmt.Errorf("baselines: no road near point %d", i)
+		}
+		_, frac := g.net.Project(near[0], p.P)
+		snapped[i] = roadnet.PointOnRoad{Seg: near[0], Frac: frac}
+		cands[i] = []roadnet.SegmentID{near[0]}
+	}
+	var path []roadnet.SegmentID
+	appendSeg := func(s roadnet.SegmentID) {
+		if len(path) == 0 || path[len(path)-1] != s {
+			path = append(path, s)
+		}
+	}
+	for i := 1; i < len(snapped); i++ {
+		route, ok := g.router.RouteBetween(snapped[i-1], snapped[i])
+		if !ok {
+			appendSeg(snapped[i-1].Seg)
+			appendSeg(snapped[i].Seg)
+			continue
+		}
+		for _, s := range route.Segs {
+			appendSeg(s)
+		}
+	}
+	if len(path) == 0 {
+		path = append(path, snapped[0].Seg)
+	}
+	return &Output{Path: path, Candidates: cands}, nil
+}

@@ -1,0 +1,196 @@
+package cellular
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestNewNetValidation(t *testing.T) {
+	if _, err := NewNet(nil); err == nil {
+		t.Error("NewNet with no towers did not error")
+	}
+}
+
+func TestNetQueries(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(500, 0), geo.Pt(0, 500), geo.Pt(3000, 3000)}
+	n, err := NewNet(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumTowers() != 4 {
+		t.Errorf("NumTowers = %d", n.NumTowers())
+	}
+	if tw := n.Tower(2); tw.ID != 2 || tw.P != geo.Pt(0, 500) {
+		t.Errorf("Tower(2) = %+v", tw)
+	}
+	near := n.Nearest(geo.Pt(100, 0), 2)
+	if len(near) != 2 || near[0] != 0 || near[1] != 1 {
+		t.Errorf("Nearest = %v, want [0 1]", near)
+	}
+	within := n.Within(geo.Pt(0, 0), 600)
+	if len(within) != 3 {
+		t.Errorf("Within = %v, want 3 towers", within)
+	}
+}
+
+func TestPlaceDensityGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := PlacementConfig{
+		Bounds:     geo.RectAround(geo.Pt(0, 0), 10000),
+		Center:     geo.Pt(0, 0),
+		Count:      2000,
+		CoreRadius: 2000,
+	}
+	pts := Place(cfg, rng)
+	if len(pts) != 2000 {
+		t.Fatalf("Place returned %d towers, want 2000", len(pts))
+	}
+	// Density per unit area must fall with radius: compare the core
+	// annulus with a far annulus of equal area.
+	countIn := func(r0, r1 float64) int {
+		var c int
+		for _, p := range pts {
+			r := p.Dist(cfg.Center)
+			if r >= r0 && r < r1 {
+				c++
+			}
+		}
+		return c
+	}
+	inner := countIn(0, 2000)
+	// Outer annulus from 6000 to sqrt(6000^2+2000^2*...)... use area-equal:
+	// area of r<2000 is pi*4e6; annulus [6000, r1] equal area: r1 = sqrt(6000^2+2000^2).
+	outerR1 := math.Sqrt(6000*6000 + 2000*2000)
+	outer := countIn(6000, outerR1)
+	if inner <= outer*2 {
+		t.Errorf("density gradient too weak: inner %d vs outer %d", inner, outer)
+	}
+}
+
+func TestPlaceEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if pts := Place(PlacementConfig{Count: 0}, rng); pts != nil {
+		t.Errorf("Count=0 returned %v", pts)
+	}
+	// Defaults fill in for zero CoreRadius/FalloffRate.
+	pts := Place(PlacementConfig{
+		Bounds: geo.RectAround(geo.Pt(0, 0), 1000),
+		Center: geo.Pt(0, 0),
+		Count:  10,
+	}, rng)
+	if len(pts) != 10 {
+		t.Errorf("default config placed %d towers", len(pts))
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	cfg := PlacementConfig{
+		Bounds:     geo.RectAround(geo.Pt(0, 0), 5000),
+		Center:     geo.Pt(0, 0),
+		Count:      100,
+		CoreRadius: 1000,
+		Jitter:     20,
+	}
+	a := Place(cfg, rand.New(rand.NewSource(7)))
+	b := Place(cfg, rand.New(rand.NewSource(7)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Place not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestServeErrorDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Urban-ish tower grid: spacing 500 m.
+	var pts []geo.Point
+	for x := -5000.0; x <= 5000; x += 500 {
+		for y := -5000.0; y <= 5000; y += 500 {
+			pts = append(pts, geo.Pt(x+rng.NormFloat64()*50, y+rng.NormFloat64()*50))
+		}
+	}
+	net, err := NewNet(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultServingModel()
+	var errs []float64
+	prev := TowerID(-1)
+	for i := 0; i < 2000; i++ {
+		p := geo.Pt(rng.Float64()*8000-4000, rng.Float64()*8000-4000)
+		id := m.Serve(rng, net, p, prev)
+		if id < 0 {
+			t.Fatal("Serve returned no tower")
+		}
+		errs = append(errs, net.Tower(id).P.Dist(p))
+		prev = id
+	}
+	var sum float64
+	var over3km int
+	for _, e := range errs {
+		sum += e
+		if e > 3000 {
+			over3km++
+		}
+	}
+	mean := sum / float64(len(errs))
+	// The paper says cellular errors are 0.1–3 km; on a 500 m grid the
+	// serving error should average a few hundred meters.
+	if mean < 100 || mean > 1500 {
+		t.Errorf("mean positioning error %v m outside plausible range", mean)
+	}
+	if float64(over3km)/float64(len(errs)) > 0.05 {
+		t.Errorf("too many >3 km errors: %d/%d", over3km, len(errs))
+	}
+}
+
+func TestServeSticky(t *testing.T) {
+	// With StickyProb 1 and the previous tower among candidates, Serve
+	// must return it.
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(400, 0), geo.Pt(800, 0)}
+	net, err := NewNet(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ServingModel{CandidateK: 3, DistScale: 400, StickyProb: 1}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		if got := m.Serve(rng, net, geo.Pt(100, 0), 1); got != 1 {
+			t.Fatalf("sticky Serve = %d, want 1", got)
+		}
+	}
+}
+
+func TestServeDeterministic(t *testing.T) {
+	pts := Place(PlacementConfig{
+		Bounds:     geo.RectAround(geo.Pt(0, 0), 3000),
+		Center:     geo.Pt(0, 0),
+		Count:      50,
+		CoreRadius: 1500,
+	}, rand.New(rand.NewSource(2)))
+	net, err := NewNet(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultServingModel()
+	run := func(seed int64) []TowerID {
+		rng := rand.New(rand.NewSource(seed))
+		var ids []TowerID
+		prev := TowerID(-1)
+		for i := 0; i < 50; i++ {
+			p := geo.Pt(float64(i)*50-1250, 0)
+			prev = m.Serve(rng, net, p, prev)
+			ids = append(ids, prev)
+		}
+		return ids
+	}
+	a, b := run(4), run(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Serve not deterministic for equal seeds")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/traj"
+)
+
+// TestMatchDegenerateTrajectories exercises inputs real pipelines
+// produce: stationary phones (one tower repeated), two-point tracks,
+// and towers never seen in training.
+func TestMatchDegenerateTrajectories(t *testing.T) {
+	d := testDataset(t, 14)
+	cfg := fastConfig()
+	cfg.Epochs = 1
+	m, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := d.TestTrips()[0].Cell
+
+	t.Run("single-point", func(t *testing.T) {
+		res, err := m.Match(base[:1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Path) == 0 {
+			t.Error("no path for single point")
+		}
+	})
+
+	t.Run("stationary", func(t *testing.T) {
+		ct := make(traj.CellTrajectory, 5)
+		for i := range ct {
+			ct[i] = base[0]
+			ct[i].T = float64(i) * 60
+		}
+		res, err := m.Match(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A stationary phone should match a short path.
+		if len(res.Path) > 30 {
+			t.Errorf("stationary track matched %d segments", len(res.Path))
+		}
+	})
+
+	t.Run("two-point", func(t *testing.T) {
+		res, err := m.Match(base[:2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matched) != 2 {
+			t.Errorf("matched %d points", len(res.Matched))
+		}
+	})
+}
+
+// TestSessionCaches pins that per-trajectory state is rebuilt per call
+// (no cross-trajectory leakage): matching A then B gives the same
+// result as matching B alone.
+func TestSessionNoLeakage(t *testing.T) {
+	d := testDataset(t, 14)
+	cfg := fastConfig()
+	cfg.Epochs = 1
+	m, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := d.TestTrips()[0], d.TestTrips()[1]
+	// Fresh model match of b.
+	rb1, err := m.Match(b.Cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave: a then b.
+	if _, err := m.Match(a.Cell); err != nil {
+		t.Fatal(err)
+	}
+	rb2, err := m.Match(b.Cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb1.Path) != len(rb2.Path) {
+		t.Fatal("matching order changed the result")
+	}
+	for i := range rb1.Path {
+		if rb1.Path[i] != rb2.Path[i] {
+			t.Fatal("matching order changed the path")
+		}
+	}
+}
+
+// TestConfigDefaults pins withDefaults filling.
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c = c.withDefaults()
+	if c.Dim == 0 || c.K == 0 || c.PoolSize == 0 || c.LR == 0 || c.Epochs == 0 {
+		t.Errorf("defaults not filled: %+v", c)
+	}
+	if c.PoolSize < c.K {
+		t.Error("pool smaller than candidate count")
+	}
+	// AttDim derived from Dim.
+	if c.AttDim == 0 {
+		t.Error("AttDim not defaulted")
+	}
+}

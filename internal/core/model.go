@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/cellular"
+	"repro/internal/mrg"
+	"repro/internal/nn"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// Model is a trained LHMM: the multi-relational graph and encoder, the
+// observation and transition probability learners, and frozen node
+// embeddings for inference.
+type Model struct {
+	Cfg Config
+
+	Net    *roadnet.Network
+	Cells  *cellular.Net
+	Router *roadnet.Router
+	Graph  *mrg.Graph
+
+	Enc *mrg.Encoder
+
+	// Observation learner (§IV-C).
+	ObsAtt  *nn.Attention // Eq. 6: context-aware point representation
+	ObsMLP  *nn.MLP       // Eq. 7: implicit point-road correlation (2 classes)
+	ObsFuse *nn.MLP       // Eq. 8: fuse implicit + explicit (2 classes)
+
+	// Transition learner (§IV-D).
+	TransAtt  *nn.Attention // Eq. 9: per-road trajectory representation
+	TransMLP  *nn.MLP       // Eq. 10: road-in-trajectory likelihood (2 classes)
+	TransFuse *nn.MLP       // Eq. 12: fuse implicit + explicit (2 classes)
+
+	// emb holds the frozen |V|×Dim node embeddings computed after
+	// training; refreshed by RefreshEmbeddings.
+	emb *nn.Mat
+
+	// distScale normalizes the explicit distance feature; calibrated
+	// from the training data (mean point-to-positive-road distance) and
+	// stored as a 1×1 parameter so Save/Load round-trips it.
+	distScale *nn.Param
+
+	// transGamma sharpens the learned transition probability
+	// (P_T^γ): at repository data scales the fuse net's outputs are
+	// flatter than the paper's fully-trained learner, so γ is selected
+	// on the validation split (the paper likewise tunes
+	// hyper-parameters on validation, §V-A2). Stored as a parameter so
+	// Save/Load round-trips it.
+	transGamma *nn.Param
+}
+
+// New builds an untrained model over the dataset's networks using the
+// given training trips for graph construction.
+func New(ds *traj.Dataset, trainTrips []*traj.Trip, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	graph, err := mrg.BuildGraph(ds.Net, ds.Cells, trainTrips)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	enc, err := mrg.NewEncoder(graph, cfg.EncoderMode, cfg.Dim, cfg.Rounds, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	d, h := cfg.Dim, cfg.AttDim
+	m := &Model{
+		Cfg:        cfg,
+		Net:        ds.Net,
+		Cells:      ds.Cells,
+		Router:     roadnet.NewRouter(ds.Net),
+		Graph:      graph,
+		Enc:        enc,
+		ObsAtt:     nn.NewAttention("obs.att", d, h, rng),
+		ObsMLP:     nn.NewMLP("obs.mlp", []int{2 * d, d, 2}, nn.ActReLU, rng),
+		ObsFuse:    nn.NewMLP("obs.fuse", []int{3, 8, 2}, nn.ActReLU, rng),
+		TransAtt:   nn.NewAttention("trans.att", d, h, rng),
+		TransMLP:   nn.NewMLP("trans.mlp", []int{2 * d, d, 2}, nn.ActReLU, rng),
+		TransFuse:  nn.NewMLP("trans.fuse", []int{3, 8, 2}, nn.ActReLU, rng),
+		distScale:  nn.NewZeroParam("meta.distScale", 1, 1),
+		transGamma: nn.NewZeroParam("meta.transGamma", 1, 1),
+	}
+	m.distScale.W.W[0] = 1000
+	m.transGamma.W.W[0] = 1
+	return m, nil
+}
+
+// implicitParams returns the parameters trained in phase 1.
+func (m *Model) implicitParams() []*nn.Param {
+	ps := m.Enc.Params()
+	ps = append(ps, m.ObsAtt.Params()...)
+	ps = append(ps, m.ObsMLP.Params()...)
+	ps = append(ps, m.TransAtt.Params()...)
+	ps = append(ps, m.TransMLP.Params()...)
+	return ps
+}
+
+// fuseParams returns the parameters fine-tuned in phase 2.
+func (m *Model) fuseParams() []*nn.Param {
+	ps := append([]*nn.Param(nil), m.ObsFuse.Params()...)
+	ps = append(ps, m.TransFuse.Params()...)
+	return ps
+}
+
+// AllParams returns every trainable parameter plus serialized
+// calibration state.
+func (m *Model) AllParams() []*nn.Param {
+	ps := append(m.implicitParams(), m.fuseParams()...)
+	return append(ps, m.distScale, m.transGamma)
+}
+
+// RefreshEmbeddings recomputes and freezes the node embeddings from the
+// current encoder weights. Call after training and before matching.
+func (m *Model) RefreshEmbeddings() {
+	tp := nn.NewTape()
+	m.emb = m.Enc.Forward(tp, m.Graph).Val.Clone()
+}
+
+// Embeddings returns the frozen |V|×Dim embedding matrix (nil before
+// RefreshEmbeddings).
+func (m *Model) Embeddings() *nn.Mat { return m.emb }
+
+// towerEmb returns the frozen embedding row of a tower.
+func (m *Model) towerEmb(id cellular.TowerID) []float64 {
+	return m.emb.Row(m.Graph.TowerNode(id))
+}
+
+// segEmb returns the frozen embedding row of a segment.
+func (m *Model) segEmb(id roadnet.SegmentID) []float64 {
+	return m.emb.Row(m.Graph.SegNode(id))
+}
+
+// gaussDist maps a point-to-road distance to the calibrated Gaussian
+// explicit feature of Eq. 8 (σ = the calibrated mean positive-road
+// distance).
+func (m *Model) gaussDist(d float64) float64 {
+	z := d / m.distScale.W.W[0]
+	return math.Exp(-0.5 * z * z)
+}
+
+// Save writes all model weights.
+func (m *Model) Save(w io.Writer) error {
+	return nn.SaveParams(w, m.AllParams())
+}
+
+// Load restores model weights written by Save into a model constructed
+// with the same configuration and dataset, then refreshes embeddings.
+func (m *Model) Load(r io.Reader) error {
+	if err := nn.LoadParams(r, m.AllParams()); err != nil {
+		return err
+	}
+	m.RefreshEmbeddings()
+	return nil
+}

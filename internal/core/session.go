@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hmm"
+	"repro/internal/nn"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// session holds the per-trajectory inference state: point embeddings,
+// context-aware point representations (Eq. 6), and a cache of per-road
+// trajectory relevance scores (Eq. 10). It implements both
+// hmm.ObservationModel and hmm.TransitionModel.
+type session struct {
+	m  *Model
+	ct traj.CellTrajectory
+
+	ptEmb *nn.Mat   // n×d raw point embeddings
+	ctx   []*nn.Mat // per point: 1×d context-aware representation
+	roadP map[roadnet.SegmentID]float64
+
+	// obsZ caches, per point, the softmax denominator over the
+	// candidate pool (Eq. 7 normalizes P_O across the candidate roads
+	// of the point); obsMax the max score for stable exponentials.
+	obsZ   []float64
+	obsMax []float64
+}
+
+// newSession precomputes the trajectory-level state. The model must
+// have frozen embeddings (RefreshEmbeddings).
+func (m *Model) newSession(ct traj.CellTrajectory) *session {
+	s := &session{
+		m:      m,
+		ct:     ct,
+		ptEmb:  nn.NewMat(len(ct), m.Cfg.Dim),
+		ctx:    make([]*nn.Mat, len(ct)),
+		roadP:  make(map[roadnet.SegmentID]float64),
+		obsZ:   make([]float64, len(ct)),
+		obsMax: make([]float64, len(ct)),
+	}
+	for i, cp := range ct {
+		copy(s.ptEmb.Row(i), m.towerEmb(cp.Tower))
+	}
+	for i := range ct {
+		q := &nn.Mat{R: 1, C: m.Cfg.Dim, W: s.ptEmb.Row(i)}
+		out, _ := m.ObsAtt.Apply(q, s.ptEmb, s.ptEmb)
+		s.ctx[i] = out
+	}
+	return s
+}
+
+// implicitObs evaluates Eq. 7: the probability that segment sid is the
+// true location of point i given the context-aware representation.
+func (s *session) implicitObs(i int, sid roadnet.SegmentID) float64 {
+	if s.m.Cfg.DisableImplicitObs {
+		return 0.5
+	}
+	d := s.m.Cfg.Dim
+	feat := nn.NewMat(1, 2*d)
+	copy(feat.W[:d], s.m.segEmb(sid))
+	copy(feat.W[d:], s.ctx[i].W)
+	logits := s.m.ObsMLP.Apply(feat)
+	p := nn.Softmax(logits.W)
+	return p[1]
+}
+
+// obsScore evaluates the fused point-road log-odds (Eq. 8's MLP). The
+// explicit distance feature is presented as a calibrated Gaussian (the
+// paper batch-normalizes it; a Gaussian of the calibrated scale
+// carries the same information in a shape the small fuse MLP can use
+// directly, so the classical Eq. 2 behaviour is the learner's starting
+// point rather than something it must rediscover).
+func (s *session) obsScore(i int, sid roadnet.SegmentID, dist float64) float64 {
+	feat := nn.RowVec(
+		s.implicitObs(i, sid),
+		s.m.gaussDist(dist),
+		s.m.Graph.CoOccurrenceNorm(s.ct[i].Tower, sid),
+	)
+	logits := s.m.ObsFuse.Apply(feat)
+	return logits.W[1] - logits.W[0]
+}
+
+// roadProb evaluates Eq. 10 with caching: the likelihood that segment
+// sid belongs to this trajectory.
+func (s *session) roadProb(sid roadnet.SegmentID) float64 {
+	if p, ok := s.roadP[sid]; ok {
+		return p
+	}
+	d := s.m.Cfg.Dim
+	segRow := &nn.Mat{R: 1, C: d, W: s.m.segEmb(sid)}
+	xl, _ := s.m.TransAtt.Apply(segRow, s.ptEmb, s.ptEmb)
+	feat := nn.NewMat(1, 2*d)
+	copy(feat.W[:d], segRow.W)
+	copy(feat.W[d:], xl.W)
+	logits := s.m.TransMLP.Apply(feat)
+	p := nn.Softmax(logits.W)[1]
+	s.roadP[sid] = p
+	return p
+}
+
+// transFeatures assembles the Eq. 12 input for a movement into point i
+// along the given route: [implicit route relevance (Eq. 11), length
+// similarity, turn similarity].
+func (s *session) transFeatures(i int, route roadnet.Route) [3]float64 {
+	var pRoute float64
+	if s.m.Cfg.DisableImplicitTrans {
+		pRoute = 0.5
+	} else {
+		var sum float64
+		for _, sid := range route.Segs {
+			sum += s.roadProb(sid)
+		}
+		pRoute = sum / float64(len(route.Segs))
+	}
+	straight := s.ct[i-1].P.Dist(s.ct[i].P)
+	lenSim := math.Exp(-math.Abs(straight-route.Dist) / 500)
+	var turn float64
+	for j := 1; j < len(route.Segs); j++ {
+		a := s.m.Net.Segment(route.Segs[j-1])
+		b := s.m.Net.Segment(route.Segs[j])
+		turn += geoAngleDiff(a.Bearing(), b.Bearing())
+	}
+	turnSim := math.Exp(-turn / math.Pi)
+	return [3]float64{pRoute, lenSim, turnSim}
+}
+
+// geoAngleDiff is a tiny local wrapper to avoid importing geo for one
+// function in this file's hot path.
+func geoAngleDiff(a, b float64) float64 {
+	d := math.Mod(math.Abs(a-b), 2*math.Pi)
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
+}
+
+// candidatePool returns the restricted search space the learned P_O
+// ranks (§IV-C "limits the candidate search space by the explicit
+// features"): the PoolSize nearest segments (clipped to PoolRadius),
+// plus the top co-occurring roads of the point's tower. Distance
+// bounds the bulk of the space; historical co-occurrence contributes
+// the far-but-relevant roads, and the shortcut structure covers points
+// whose truth escapes both (Observation 1).
+func (m *Model) candidatePool(ct traj.CellTrajectory, i int) []roadnet.SegmentID {
+	pool := m.Net.SegmentsNear(ct[i].P, m.Cfg.PoolSize)
+	// Clip the tail beyond PoolRadius (ascending distance order).
+	for len(pool) > 1 && m.Net.DistTo(pool[len(pool)-1], ct[i].P) > m.Cfg.PoolRadius {
+		pool = pool[:len(pool)-1]
+	}
+	seen := make(map[roadnet.SegmentID]bool, len(pool))
+	for _, sid := range pool {
+		seen[sid] = true
+	}
+	for _, sid := range m.Graph.TopCoRoads(ct[i].Tower, m.Cfg.CoPool) {
+		if !seen[sid] {
+			seen[sid] = true
+			pool = append(pool, sid)
+		}
+	}
+	return pool
+}
+
+// Candidates implements hmm.ObservationModel: the top-k pool segments
+// by learned observation probability — the pool scores softmax-
+// normalized per point (Eq. 7's softmax runs over the candidate roads
+// of the point, which keeps P_O sharp and comparable across
+// candidates) — with the nearest third by geometric distance always
+// retained. The distance floor keeps the physical prior intact when
+// the learned ranking is uncertain (the paper's P_O likewise folds the
+// explicit distance feature into its ranking, §IV-C).
+func (s *session) Candidates(ct traj.CellTrajectory, i, k int) []hmm.Candidate {
+	pool := s.m.candidatePool(s.ct, i)
+	cands := make([]hmm.Candidate, 0, len(pool))
+	scores := make([]float64, 0, len(pool))
+	for _, sid := range pool {
+		c := hmm.Candidate{Seg: sid}
+		c.Proj, c.Frac = s.m.Net.Project(sid, s.ct[i].P)
+		c.Dist = c.Proj.Dist(s.ct[i].P)
+		scores = append(scores, s.obsScore(i, sid, c.Dist))
+		cands = append(cands, c)
+	}
+	// Across-pool softmax with cached normalizer so shortcut
+	// pseudo-candidates score consistently later.
+	mx := scores[0]
+	for _, v := range scores[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var z float64
+	for _, v := range scores {
+		z += math.Exp(v - mx)
+	}
+	s.obsMax[i] = mx
+	s.obsZ[i] = z
+	for j := range cands {
+		cands[j].Obs = math.Exp(scores[j]-mx) / z
+	}
+	if k >= len(cands) {
+		sort.Slice(cands, func(a, b int) bool { return cands[a].Obs > cands[b].Obs })
+		return cands
+	}
+	// Mark the nearest k/3 by distance as guaranteed.
+	byDist := make([]int, len(cands))
+	for i := range byDist {
+		byDist[i] = i
+	}
+	sort.Slice(byDist, func(a, b int) bool { return cands[byDist[a]].Dist < cands[byDist[b]].Dist })
+	guaranteed := make(map[int]bool, k/3+1)
+	for _, idx := range byDist[:k/3+1] {
+		guaranteed[idx] = true
+	}
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ga, gb := guaranteed[order[a]], guaranteed[order[b]]
+		if ga != gb {
+			return ga
+		}
+		if cands[order[a]].Obs != cands[order[b]].Obs {
+			return cands[order[a]].Obs > cands[order[b]].Obs
+		}
+		return cands[order[a]].Seg < cands[order[b]].Seg
+	})
+	out := make([]hmm.Candidate, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[order[i]]
+	}
+	// Present in descending learned-probability order.
+	sort.Slice(out, func(a, b int) bool { return out[a].Obs > out[b].Obs })
+	return out
+}
+
+// Score implements hmm.ObservationModel for shortcut pseudo-candidates:
+// the fused score normalized by the point's cached pool softmax.
+func (s *session) Score(ct traj.CellTrajectory, i int, c *hmm.Candidate) float64 {
+	sc := s.obsScore(i, c.Seg, c.Dist)
+	if s.obsZ[i] == 0 {
+		// Candidates was never called for this point (single-point
+		// trajectories bypass transitions); fall back to the sigmoid.
+		return 1 / (1 + math.Exp(-sc))
+	}
+	return math.Exp(sc-s.obsMax[i]) / s.obsZ[i]
+}
+
+// Score implements hmm.TransitionModel: the learned transition
+// probability of Eq. 12.
+func (s *session) TransScore(ct traj.CellTrajectory, i int, from, to *hmm.Candidate) (float64, bool) {
+	route, ok := s.m.Router.RouteBetween(from.Pos(), to.Pos())
+	if !ok || len(route.Segs) == 0 {
+		return 0, false
+	}
+	f := s.transFeatures(i, route)
+	logits := s.m.TransFuse.Apply(nn.RowVec(f[0], f[1], f[2]))
+	p := nn.Softmax(logits.W)[1]
+	if g := s.m.transGamma.W.W[0]; g != 1 {
+		p = math.Pow(p, g)
+	}
+	return p, true
+}
+
+// transAdapter exposes the session's transition scoring under the
+// hmm.TransitionModel method name.
+type transAdapter struct{ s *session }
+
+func (t transAdapter) Score(ct traj.CellTrajectory, i int, from, to *hmm.Candidate) (float64, bool) {
+	return t.s.TransScore(ct, i, from, to)
+}
+
+// Match map-matches one cellular trajectory with the trained model.
+func (m *Model) Match(ct traj.CellTrajectory) (*hmm.Result, error) {
+	if m.emb == nil {
+		return nil, fmt.Errorf("core: model has no embeddings; call RefreshEmbeddings after training or loading")
+	}
+	if len(ct) == 0 {
+		return nil, fmt.Errorf("core: empty trajectory")
+	}
+	sess := m.newSession(ct)
+	matcher := &hmm.Matcher{
+		Net:    m.Net,
+		Router: m.Router,
+		Obs:    sess,
+		Trans:  transAdapter{sess},
+		Cfg:    hmm.Config{K: m.Cfg.K, Shortcuts: m.Cfg.Shortcuts},
+	}
+	return matcher.Match(ct)
+}

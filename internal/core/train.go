@@ -1,0 +1,529 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// Train builds and trains an LHMM on the dataset's training split
+// (§IV-D "Training Process"): phase 1 trains the encoder and the
+// implicit correlation networks by road classification; phase 2
+// fine-tunes the fuse MLPs that blend implicit and explicit features.
+func Train(ds *traj.Dataset, cfg Config) (*Model, error) {
+	trips := ds.TrainTrips()
+	if len(trips) == 0 {
+		return nil, fmt.Errorf("core: no training trips")
+	}
+	m, err := New(ds, trips, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(m.Cfg.Seed + 1))
+
+	samples := make([]*tripSample, 0, len(trips))
+	for _, tr := range trips {
+		if s := m.prepareSample(tr); s != nil {
+			samples = append(samples, s)
+		}
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: no usable training trips")
+	}
+
+	m.calibrateDistScale(samples)
+	m.pretrainFuse(rng)
+	if err := m.trainImplicit(samples, rng); err != nil {
+		return nil, err
+	}
+	m.RefreshEmbeddings()
+	if err := m.trainFuse(samples, rng); err != nil {
+		return nil, err
+	}
+	m.calibrateGamma(ds)
+	return m, nil
+}
+
+// calibrateGamma selects the transition-sharpening exponent on the
+// validation split: the fuse net's probabilities are flatter than a
+// fully-trained learner's, and a sharper P_T both punishes detours and
+// lets the shortcut optimization (Algorithm 2) outscore paths through
+// noisy points. Falls back to a training subset when the validation
+// split is empty.
+func (m *Model) calibrateGamma(ds *traj.Dataset) {
+	trips := ds.ValidTrips()
+	if len(trips) == 0 {
+		trips = ds.TrainTrips()
+	}
+	if len(trips) > 16 {
+		trips = trips[:16]
+	}
+	if len(trips) == 0 {
+		return
+	}
+	bestGamma, bestScore := 1.0, math.Inf(1)
+	for _, gamma := range []float64{1, 2, 4, 8} {
+		m.transGamma.W.W[0] = gamma
+		var cmf float64
+		var n int
+		for _, tr := range trips {
+			res, err := m.Match(tr.Cell)
+			if err != nil {
+				continue
+			}
+			pm := metrics.EvalPath(m.Net, res.Path, tr.Path, 50)
+			cmf += pm.CMF + 0.3*pm.RMF // corridor accuracy with a detour penalty
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		if score := cmf / float64(n); score < bestScore {
+			bestScore, bestGamma = score, gamma
+		}
+	}
+	m.transGamma.W.W[0] = bestGamma
+}
+
+// tripSample is the preprocessed training view of one trip.
+type tripSample struct {
+	tr      *traj.Trip
+	pathSet map[roadnet.SegmentID]bool
+	// pointPos assigns each ground-truth path segment to the trajectory
+	// point whose tower is closest to it — the positive (point, road)
+	// pairs of the observation classification task.
+	pointPos [][]roadnet.SegmentID
+	// negPool holds, per point, nearby segments off the path (negative
+	// samples).
+	negPool [][]roadnet.SegmentID
+}
+
+// prepareSample builds the training view; trips with no usable points
+// return nil.
+func (m *Model) prepareSample(tr *traj.Trip) *tripSample {
+	if len(tr.Cell) < 2 || len(tr.Path) == 0 {
+		return nil
+	}
+	s := &tripSample{
+		tr:       tr,
+		pathSet:  tr.PathSet(),
+		pointPos: make([][]roadnet.SegmentID, len(tr.Cell)),
+		negPool:  make([][]roadnet.SegmentID, len(tr.Cell)),
+	}
+	for _, sid := range tr.Path {
+		mid := m.Net.Segment(sid).Midpoint()
+		best, bestD := -1, math.Inf(1)
+		for i, cp := range tr.Cell {
+			if d := m.Cells.Tower(cp.Tower).P.DistSq(mid); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best >= 0 {
+			s.pointPos[best] = append(s.pointPos[best], sid)
+		}
+	}
+	// Negatives come from the same pool inference scores, so the
+	// classifier sees the full distance distribution it must rank.
+	for i := range tr.Cell {
+		for _, sid := range m.candidatePool(tr.Cell, i) {
+			if !s.pathSet[sid] {
+				s.negPool[i] = append(s.negPool[i], sid)
+			}
+		}
+	}
+	return s
+}
+
+// calibrateDistScale sets the distance normalization from the mean
+// point-to-positive-road distance across the training data.
+func (m *Model) calibrateDistScale(samples []*tripSample) {
+	var sum float64
+	var n int
+	for _, s := range samples {
+		for i, pos := range s.pointPos {
+			p := s.tr.Cell[i].P
+			for _, sid := range pos {
+				sum += m.Net.DistTo(sid, p)
+				n++
+			}
+		}
+	}
+	if n > 0 {
+		m.distScale.W.W[0] = math.Max(200, sum/float64(n))
+	}
+}
+
+// pair is one labeled (point, road) classification example.
+type pair struct {
+	point int
+	seg   roadnet.SegmentID
+	label int
+}
+
+// samplePairs draws balanced positive/negative pairs for one trip.
+func (s *tripSample) samplePairs(rng *rand.Rand, maxPairs, negPerPos int) []pair {
+	var out []pair
+	posBudget := maxPairs / (1 + negPerPos)
+	if posBudget < 1 {
+		posBudget = 1
+	}
+	// Points visited in random order for coverage.
+	order := rng.Perm(len(s.tr.Cell))
+	for _, i := range order {
+		if len(out) >= posBudget*(1+negPerPos) {
+			break
+		}
+		if len(s.pointPos[i]) == 0 || len(s.negPool[i]) == 0 {
+			continue
+		}
+		posSeg := s.pointPos[i][rng.Intn(len(s.pointPos[i]))]
+		out = append(out, pair{point: i, seg: posSeg, label: 1})
+		for k := 0; k < negPerPos; k++ {
+			negSeg := s.negPool[i][rng.Intn(len(s.negPool[i]))]
+			out = append(out, pair{point: i, seg: negSeg, label: 0})
+		}
+	}
+	return out
+}
+
+// trainImplicit runs phase 1: joint training of the encoder, the
+// context attention networks, and the implicit correlation MLPs via
+// binary road classification with undersampled negatives and label
+// smoothing.
+func (m *Model) trainImplicit(samples []*tripSample, rng *rand.Rand) error {
+	opt := nn.NewAdam()
+	opt.LR = m.Cfg.LR
+	opt.WeightDecay = m.Cfg.WeightDecay
+	params := m.implicitParams()
+
+	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(samples))
+		for at := 0; at < len(perm); at += m.Cfg.BatchTrips {
+			end := at + m.Cfg.BatchTrips
+			if end > len(perm) {
+				end = len(perm)
+			}
+			tp := nn.NewTape()
+			H := m.Enc.Forward(tp, m.Graph)
+			var losses []*nn.T
+			for _, si := range perm[at:end] {
+				s := samples[si]
+				if !m.Cfg.DisableImplicitObs {
+					if l := m.obsLossForTrip(tp, H, s, rng); l != nil {
+						losses = append(losses, l)
+					}
+				}
+				if !m.Cfg.DisableImplicitTrans {
+					if l := m.transLossForTrip(tp, H, s, rng); l != nil {
+						losses = append(losses, l)
+					}
+				}
+			}
+			if len(losses) == 0 {
+				continue
+			}
+			loss := losses[0]
+			for _, l := range losses[1:] {
+				loss = tp.Add(loss, l)
+			}
+			loss = tp.Scale(loss, 1/float64(len(losses)))
+			if err := tp.Backward(loss); err != nil {
+				return fmt.Errorf("core: phase 1: %w", err)
+			}
+			nn.ClipGradNorm(params, 5)
+			opt.Step(params)
+		}
+	}
+	return nil
+}
+
+// obsLossForTrip builds the observation classification loss of one trip
+// on the tape: Eq. 6 context representations feed Eq. 7 logits.
+func (m *Model) obsLossForTrip(tp *nn.Tape, H *nn.T, s *tripSample, rng *rand.Rand) *nn.T {
+	pairs := s.samplePairs(rng, m.Cfg.PairsPerTrip, m.Cfg.NegPerPos)
+	if len(pairs) == 0 {
+		return nil
+	}
+	ptIdx := make([]int, len(s.tr.Cell))
+	for i, cp := range s.tr.Cell {
+		ptIdx[i] = m.Graph.TowerNode(cp.Tower)
+	}
+	ptEmb := tp.Gather(H, ptIdx)
+
+	// Context representation per distinct point in the sample.
+	ctx := make(map[int]*nn.T)
+	for _, pr := range pairs {
+		if _, ok := ctx[pr.point]; ok {
+			continue
+		}
+		q := tp.Gather(ptEmb, []int{pr.point})
+		out, _ := m.ObsAtt.Forward(tp, q, ptEmb, ptEmb)
+		ctx[pr.point] = out
+	}
+	rows := make([]*nn.T, len(pairs))
+	labels := make([]int, len(pairs))
+	for i, pr := range pairs {
+		segT := tp.Gather(H, []int{m.Graph.SegNode(pr.seg)})
+		rows[i] = tp.ConcatCols(segT, ctx[pr.point])
+		labels[i] = pr.label
+	}
+	logits := m.ObsMLP.Forward(tp, tp.StackRows(rows))
+	target := nn.SmoothedTargets(len(pairs), 2, labels, m.Cfg.LabelSmooth)
+	return tp.CrossEntropy(logits, target)
+}
+
+// transLossForTrip builds the trajectory-road classification loss of
+// one trip: Eq. 9 trajectory representations feed Eq. 10 logits.
+func (m *Model) transLossForTrip(tp *nn.Tape, H *nn.T, s *tripSample, rng *rand.Rand) *nn.T {
+	// Positive roads: on the path. Negative roads: from the pooled
+	// negatives of random points.
+	posBudget := m.Cfg.PairsPerTrip / (1 + m.Cfg.NegPerPos)
+	if posBudget < 1 {
+		posBudget = 1
+	}
+	type roadEx struct {
+		seg   roadnet.SegmentID
+		label int
+	}
+	var exs []roadEx
+	for k := 0; k < posBudget; k++ {
+		exs = append(exs, roadEx{s.tr.Path[rng.Intn(len(s.tr.Path))], 1})
+		for j := 0; j < m.Cfg.NegPerPos; j++ {
+			i := rng.Intn(len(s.negPool))
+			if len(s.negPool[i]) == 0 {
+				continue
+			}
+			exs = append(exs, roadEx{s.negPool[i][rng.Intn(len(s.negPool[i]))], 0})
+		}
+	}
+	if len(exs) == 0 {
+		return nil
+	}
+	ptIdx := make([]int, len(s.tr.Cell))
+	for i, cp := range s.tr.Cell {
+		ptIdx[i] = m.Graph.TowerNode(cp.Tower)
+	}
+	ptEmb := tp.Gather(H, ptIdx)
+
+	rows := make([]*nn.T, len(exs))
+	labels := make([]int, len(exs))
+	for i, ex := range exs {
+		segT := tp.Gather(H, []int{m.Graph.SegNode(ex.seg)})
+		xl, _ := m.TransAtt.Forward(tp, segT, ptEmb, ptEmb)
+		rows[i] = tp.ConcatCols(segT, xl)
+		labels[i] = ex.label
+	}
+	logits := m.TransMLP.Forward(tp, tp.StackRows(rows))
+	target := nn.SmoothedTargets(len(exs), 2, labels, m.Cfg.LabelSmooth)
+	return tp.CrossEntropy(logits, target)
+}
+
+// pretrainFuse initializes both fuse MLPs (Eqs. 8 and 12) to pass
+// through their explicit-feature channel: with inputs [implicit,
+// explicit, extra], the output starts as the explicit similarity
+// itself. This makes the untrained learners behave like the classical
+// distance models (Eqs. 2–3), so fine-tuning on real labels can only
+// refine from a physically sane baseline — important at small training
+// scales where the fuse nets would otherwise start arbitrary.
+func (m *Model) pretrainFuse(rng *rand.Rand) {
+	opt := nn.NewAdam()
+	opt.LR = 0.01
+	opt.WeightDecay = 0
+	for _, fuse := range []*nn.MLP{m.ObsFuse, m.TransFuse} {
+		params := fuse.Params()
+		for step := 0; step < 300; step++ {
+			const batch = 32
+			feats := nn.NewMat(batch, 3)
+			target := nn.NewMat(batch, 2)
+			for i := 0; i < batch; i++ {
+				f := [3]float64{rng.Float64(), rng.Float64(), rng.Float64()}
+				copy(feats.Row(i), f[:])
+				target.Set(i, 0, 1-f[1])
+				target.Set(i, 1, f[1])
+			}
+			tp := nn.NewTape()
+			loss := tp.CrossEntropy(fuse.Forward(tp, tp.Const(feats)), target)
+			if err := tp.Backward(loss); err != nil {
+				// Pretraining failure is non-fatal; phase 2 still runs.
+				break
+			}
+			opt.Step(params)
+		}
+	}
+}
+
+// trainFuse runs phase 2: with embeddings and implicit networks frozen,
+// fine-tune the fuse MLPs (Eqs. 8 and 12) that blend the implicit
+// probability with the explicit features.
+func (m *Model) trainFuse(samples []*tripSample, rng *rand.Rand) error {
+	opt := nn.NewAdam()
+	opt.LR = m.Cfg.LR
+	opt.WeightDecay = m.Cfg.WeightDecay
+
+	obsParams := m.ObsFuse.Params()
+	transParams := m.TransFuse.Params()
+
+	for epoch := 0; epoch < m.Cfg.FuseEpochs; epoch++ {
+		perm := rng.Perm(len(samples))
+		for _, si := range perm {
+			s := samples[si]
+			sess := m.newSession(s.tr.Cell)
+
+			if feats, labels := m.obsFuseExamples(s, sess, rng); len(labels) > 0 {
+				tp := nn.NewTape()
+				logits := m.ObsFuse.Forward(tp, tp.Const(feats))
+				target := nn.SmoothedTargets(len(labels), 2, labels, m.Cfg.LabelSmooth)
+				loss := tp.CrossEntropy(logits, target)
+				if err := tp.Backward(loss); err != nil {
+					return fmt.Errorf("core: phase 2 obs: %w", err)
+				}
+				opt.Step(obsParams)
+			}
+
+			if feats, targets := m.transFuseExamples(s, sess, rng); targets != nil {
+				tp := nn.NewTape()
+				logits := m.TransFuse.Forward(tp, tp.Const(feats))
+				loss := tp.CrossEntropy(logits, targets)
+				if err := tp.Backward(loss); err != nil {
+					return fmt.Errorf("core: phase 2 trans: %w", err)
+				}
+				opt.Step(transParams)
+			}
+		}
+	}
+	return nil
+}
+
+// obsFuseExamples builds the phase-2 observation examples of one trip:
+// features [implicit prob, normalized distance, co-occurrence] with
+// on-path labels, balanced by undersampling.
+func (m *Model) obsFuseExamples(s *tripSample, sess *session, rng *rand.Rand) (*nn.Mat, []int) {
+	type ex struct {
+		f     [3]float64
+		label int
+	}
+	var exs []ex
+	posBudget := m.Cfg.PairsPerTrip / 2
+	if posBudget < 1 {
+		posBudget = 1
+	}
+	order := rng.Perm(len(s.tr.Cell))
+	var posCount int
+	for _, i := range order {
+		if posCount >= posBudget {
+			break
+		}
+		if len(s.pointPos[i]) == 0 || len(s.negPool[i]) == 0 {
+			continue
+		}
+		posCount++
+		mk := func(sid roadnet.SegmentID, label int) ex {
+			d := m.Net.DistTo(sid, s.tr.Cell[i].P)
+			return ex{
+				f: [3]float64{
+					sess.implicitObs(i, sid),
+					m.gaussDist(d),
+					m.Graph.CoOccurrenceNorm(s.tr.Cell[i].Tower, sid),
+				},
+				label: label,
+			}
+		}
+		exs = append(exs, mk(s.pointPos[i][rng.Intn(len(s.pointPos[i]))], 1))
+		for k := 0; k < m.Cfg.NegPerPos; k++ {
+			exs = append(exs, mk(s.negPool[i][rng.Intn(len(s.negPool[i]))], 0))
+		}
+	}
+	if len(exs) == 0 {
+		return nil, nil
+	}
+	feats := nn.NewMat(len(exs), 3)
+	labels := make([]int, len(exs))
+	for i, e := range exs {
+		copy(feats.Row(i), e.f[:])
+		labels[i] = e.label
+	}
+	return feats, labels
+}
+
+// transFuseExamples builds the phase-2 transition examples: candidate
+// routes between consecutive points with soft targets equal to the
+// fraction of route segments on the ground-truth path ("the ratio of
+// traveled roads to the moving path", §IV-D).
+//
+// Pairs are sampled from the same distribution inference sees — the
+// top candidates by learned observation probability — plus one
+// injected ground-truth pair per step, so the fuse net learns to
+// separate the exact routes Viterbi will compare rather than arbitrary
+// ones.
+func (m *Model) transFuseExamples(s *tripSample, sess *session, rng *rand.Rand) (*nn.Mat, *nn.Mat) {
+	type ex struct {
+		f     [3]float64
+		ratio float64
+	}
+	var exs []ex
+	if len(s.tr.Cell) < 2 {
+		return nil, nil
+	}
+	addRoute := func(i int, from, to roadnet.PointOnRoad) {
+		route, ok := m.Router.RouteBetween(from, to)
+		if !ok || len(route.Segs) == 0 {
+			return
+		}
+		var onPath int
+		for _, sid := range route.Segs {
+			if s.pathSet[sid] {
+				onPath++
+			}
+		}
+		ratio := float64(onPath) / float64(len(route.Segs))
+		exs = append(exs, ex{f: sess.transFeatures(i, route), ratio: ratio})
+	}
+	candK := m.Cfg.K / 3
+	if candK < 4 {
+		candK = 4
+	}
+	budget := m.Cfg.PairsPerTrip
+	if budget < 2 {
+		budget = 2
+	}
+	for k := 0; k < budget; k++ {
+		i := 1 + rng.Intn(len(s.tr.Cell)-1)
+		fromCands := sess.Candidates(s.tr.Cell, i-1, candK)
+		toCands := sess.Candidates(s.tr.Cell, i, candK)
+		if len(fromCands) == 0 || len(toCands) == 0 {
+			continue
+		}
+		fc := fromCands[rng.Intn(len(fromCands))]
+		tc := toCands[rng.Intn(len(toCands))]
+		addRoute(i, fc.Pos(), tc.Pos())
+		// Inject the ground-truth movement for this step when both
+		// points have positives: route between on-path roads is the
+		// clean ratio≈1 example.
+		if len(s.pointPos[i-1]) > 0 && len(s.pointPos[i]) > 0 {
+			gFrom := s.pointPos[i-1][rng.Intn(len(s.pointPos[i-1]))]
+			gTo := s.pointPos[i][rng.Intn(len(s.pointPos[i]))]
+			_, ff := m.Net.Project(gFrom, s.tr.Cell[i-1].P)
+			_, tf := m.Net.Project(gTo, s.tr.Cell[i].P)
+			addRoute(i,
+				roadnet.PointOnRoad{Seg: gFrom, Frac: ff},
+				roadnet.PointOnRoad{Seg: gTo, Frac: tf},
+			)
+		}
+	}
+	if len(exs) == 0 {
+		return nil, nil
+	}
+	feats := nn.NewMat(len(exs), 3)
+	targets := nn.NewMat(len(exs), 2)
+	for i, e := range exs {
+		copy(feats.Row(i), e.f[:])
+		targets.Set(i, 0, 1-e.ratio)
+		targets.Set(i, 1, e.ratio)
+	}
+	return feats, targets
+}

@@ -1,0 +1,204 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/metrics"
+	"repro/internal/traj"
+)
+
+// CaseStudy is the Fig. 11 artifact: one challenging trajectory matched
+// by LHMM and DMM, with per-method CMF and renderable geometry.
+type CaseStudy struct {
+	TripID      int
+	MeanPosErrM float64 // mean distance from cell positions to the true path
+	Truth       geo.Polyline
+	Cell        geo.Polyline
+	Matched     map[string]geo.Polyline
+	CMF         map[string]float64
+}
+
+// Figure11 finds the test trip with the highest mean positioning error
+// and matches it with LHMM and DMM (the paper's Fig. 11 comparison).
+func Figure11(s *Suite) (*CaseStudy, error) {
+	ds, err := s.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	var hardest *traj.Trip
+	worst := -1.0
+	for _, tr := range ds.TestTrips() {
+		var sum float64
+		for _, cp := range tr.Cell {
+			sum += tr.PathGeom.Dist(cp.P)
+		}
+		if len(tr.Cell) == 0 {
+			continue
+		}
+		if e := sum / float64(len(tr.Cell)); e > worst {
+			worst, hardest = e, tr
+		}
+	}
+	if hardest == nil {
+		return nil, fmt.Errorf("figure11: no test trips")
+	}
+	cs := &CaseStudy{
+		TripID:      hardest.ID,
+		MeanPosErrM: worst,
+		Truth:       hardest.PathGeom,
+		Cell:        hardest.Cell.Positions(),
+		Matched:     map[string]geo.Polyline{},
+		CMF:         map[string]float64{},
+	}
+	for _, name := range []string{"LHMM", "DMM"} {
+		m, err := s.Method(name)
+		if err != nil {
+			return nil, err
+		}
+		out, err := m.Match(hardest.Cell)
+		if err != nil {
+			return nil, fmt.Errorf("figure11: %s: %w", name, err)
+		}
+		cs.Matched[name] = metrics.PathGeometry(ds.Net, out.Path)
+		pm := metrics.EvalPath(ds.Net, out.Path, hardest.Path, 50)
+		cs.CMF[name] = pm.CMF
+	}
+	return cs, nil
+}
+
+// ASCII renders the case study as a text map: `#` ground truth, letters
+// for each method's path, `o` cellular points.
+func (c *CaseStudy) ASCII(width, height int) string {
+	if width < 10 {
+		width = 60
+	}
+	if height < 5 {
+		height = 24
+	}
+	box, ok := c.Truth.BBox()
+	if !ok {
+		return "(empty case)\n"
+	}
+	for _, pl := range c.Matched {
+		if b2, ok := pl.BBox(); ok {
+			box = box.Union(b2)
+		}
+	}
+	if b2, ok := c.Cell.BBox(); ok {
+		box = box.Union(b2)
+	}
+	box = box.Buffer(50)
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(pl geo.Polyline, ch byte) {
+		if len(pl) == 0 {
+			return
+		}
+		total := pl.Length()
+		steps := width * 4
+		for i := 0; i <= steps; i++ {
+			p := pl.At(total * float64(i) / float64(steps))
+			x := int((p.X - box.Min.X) / box.Width() * float64(width-1))
+			y := int((p.Y - box.Min.Y) / box.Height() * float64(height-1))
+			if x >= 0 && x < width && y >= 0 && y < height {
+				grid[height-1-y][x] = ch
+			}
+		}
+	}
+	plot(c.Truth, '#')
+	chars := []byte{'L', 'D', 'M', 'X'}
+	names := sortedKeys(c.Matched)
+	for i, name := range names {
+		plot(c.Matched[name], chars[i%len(chars)])
+	}
+	for _, p := range c.Cell {
+		x := int((p.X - box.Min.X) / box.Width() * float64(width-1))
+		y := int((p.Y - box.Min.Y) / box.Height() * float64(height-1))
+		if x >= 0 && x < width && y >= 0 && y < height {
+			grid[height-1-y][x] = 'o'
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 11 case study — trip %d, mean positioning error %.0f m\n",
+		c.TripID, c.MeanPosErrM)
+	b.WriteString("legend: # ground truth, o cellular points")
+	for i, name := range names {
+		fmt.Fprintf(&b, ", %c %s (CMF %.3f)", chars[i%len(chars)], name, c.CMF[name])
+	}
+	b.WriteString("\n")
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]geo.Polyline) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// insertion sort (tiny)
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// GeoJSON exports the case study as a FeatureCollection (WGS84 around
+// the given anchor) for external visualization.
+func (c *CaseStudy) GeoJSON(anchor geo.Anchor) ([]byte, error) {
+	type geometry struct {
+		Type   string      `json:"type"`
+		Coords [][]float64 `json:"coordinates"`
+	}
+	type feature struct {
+		Type       string            `json:"type"`
+		Properties map[string]string `json:"properties"`
+		Geometry   geometry          `json:"geometry"`
+	}
+	line := func(pl geo.Polyline) [][]float64 {
+		out := make([][]float64, len(pl))
+		for i, p := range pl {
+			ll := anchor.ToLatLon(p)
+			out[i] = []float64{round6(ll.Lon), round6(ll.Lat)}
+		}
+		return out
+	}
+	features := []feature{{
+		Type:       "Feature",
+		Properties: map[string]string{"role": "ground-truth"},
+		Geometry:   geometry{Type: "LineString", Coords: line(c.Truth)},
+	}, {
+		Type:       "Feature",
+		Properties: map[string]string{"role": "cellular-trajectory"},
+		Geometry:   geometry{Type: "LineString", Coords: line(c.Cell)},
+	}}
+	for _, name := range sortedKeys(c.Matched) {
+		features = append(features, feature{
+			Type: "Feature",
+			Properties: map[string]string{
+				"role":   "match",
+				"method": name,
+				"cmf":    fmt.Sprintf("%.3f", c.CMF[name]),
+			},
+			Geometry: geometry{Type: "LineString", Coords: line(c.Matched[name])},
+		})
+	}
+	return json.MarshalIndent(map[string]interface{}{
+		"type":     "FeatureCollection",
+		"features": features,
+	}, "", "  ")
+}
+
+func round6(v float64) float64 { return math.Round(v*1e6) / 1e6 }

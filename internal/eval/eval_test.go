@@ -1,0 +1,282 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/cellular"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/synth"
+	"repro/internal/traj"
+)
+
+// tinySuite keeps everything very small so the whole experiment surface
+// can run inside a unit test.
+func tinySuite(name string, seed int64) *Suite {
+	cfg := SuiteConfig{
+		Dataset: synth.DatasetConfig{
+			Seed: seed,
+			City: synth.CityConfig{
+				Name:          name,
+				HalfSize:      2000,
+				BlockSize:     250,
+				CoreRadius:    1000,
+				NodeJitter:    15,
+				EdgeDropCore:  0.05,
+				EdgeDropRural: 0.3,
+				ArterialEvery: 4,
+				TowerCount:    40,
+			},
+			Trips: synth.TripConfig{
+				Count:            18,
+				MinLen:           1200,
+				MaxLen:           3200,
+				GPSInterval:      20,
+				GPSNoise:         8,
+				CellMeanInterval: 40,
+				Serving:          cellular.DefaultServingModel(),
+			},
+			Preprocess: true,
+			Filter:     traj.DefaultFilterConfig(),
+			TrainFrac:  0.6,
+			ValidFrac:  0.1,
+		},
+		LHMM: func() core.Config {
+			c := core.DefaultConfig()
+			c.Dim = 12
+			c.Epochs = 1
+			c.FuseEpochs = 1
+			c.K = 8
+			c.PoolSize = 16
+			c.CoPool = 6
+			c.PairsPerTrip = 16
+			return c
+		}(),
+		Baseline: baselines.CommonConfig{K: 10},
+		Seq:      baselines.Seq2SeqConfig{Dim: 10, Epochs: 1, MaxTarget: 40, Seed: 2},
+	}
+	return NewSuite(cfg)
+}
+
+func TestEvaluateMethod(t *testing.T) {
+	s := tinySuite("eval-test", 31)
+	ds, err := s.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Method("STM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary, results := EvaluateMethod(ds, m, ds.TestTrips(), 50)
+	if summary.Trips != len(ds.TestTrips()) {
+		t.Errorf("Trips = %d, want %d", summary.Trips, len(ds.TestTrips()))
+	}
+	if summary.AvgTimeS <= 0 {
+		t.Error("AvgTimeS not measured")
+	}
+	if math.IsNaN(summary.HR) {
+		t.Error("HMM method should report HR")
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("trip %d errored: %v", r.TripID, r.Err)
+		}
+	}
+}
+
+func TestSuiteMemoization(t *testing.T) {
+	s := tinySuite("memo-test", 32)
+	d1, err := s.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := s.Dataset()
+	if d1 != d2 {
+		t.Error("Dataset not memoized")
+	}
+	m1, err := s.LHMM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := s.LHMM()
+	if m1 != m2 {
+		t.Error("LHMM not memoized")
+	}
+	if _, err := s.Method("nope"); err == nil {
+		t.Error("unknown method did not error")
+	}
+	if _, err := s.SeqMethod("nope"); err == nil {
+		t.Error("unknown seq method did not error")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	s := tinySuite("t1-test", 33)
+	out, err := Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"road segments", "t1-test", "cellular trajectory points"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3AndFigures(t *testing.T) {
+	// Table 3 exercises every ablation; figures 8/9 sweep the trained
+	// model. Table 2 is exercised in the benchmark harness (it trains
+	// three extra seq2seq models); here we run a subset through
+	// Method() to keep the test fast.
+	s := tinySuite("t3-test", 34)
+
+	rows, err := Table3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Table3Variants) {
+		t.Fatalf("Table3 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Summary.Trips == 0 {
+			t.Errorf("row %s evaluated no trips", r.Method)
+		}
+	}
+	rendered := FormatRows("Table III", rows)
+	if !strings.Contains(rendered, "LHMM-S") || !strings.Contains(rendered, "STM+S") {
+		t.Errorf("render missing rows:\n%s", rendered)
+	}
+
+	pts, err := Figure8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(Figure8Ks) {
+		t.Errorf("Figure8 points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Values["CMF50"] < 0 || p.Values["CMF50"] > 1 {
+			t.Errorf("Figure8 CMF out of range: %v", p.Values)
+		}
+	}
+
+	pts9, err := Figure9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts9) != len(Figure9Ks) {
+		t.Errorf("Figure9 points = %d", len(pts9))
+	}
+	if out := FormatSeries("Fig 9", "K", pts9); !strings.Contains(out, "CMF50") {
+		t.Errorf("FormatSeries missing header:\n%s", out)
+	}
+}
+
+func TestFigure7bResampling(t *testing.T) {
+	s := tinySuite("f7-test", 35)
+	// Restrict to the cheap methods for the unit test.
+	old := Figure7aMethods
+	Figure7aMethods = []string{"STM"}
+	defer func() { Figure7aMethods = old }()
+	pts, err := Figure7b(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no Figure7b points")
+	}
+	for _, p := range pts {
+		if _, ok := p.Values["STM"]; !ok {
+			t.Error("missing STM series")
+		}
+	}
+}
+
+func TestFigure10b(t *testing.T) {
+	s := tinySuite("f10-test", 36)
+	pts, err := Figure10b(s, []float64{0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("Figure10b points = %d", len(pts))
+	}
+	if pts[0].X >= pts[1].X {
+		t.Error("training sizes not increasing")
+	}
+}
+
+func TestFigure11CaseStudy(t *testing.T) {
+	s := tinySuite("f11-test", 37)
+	// DMM is expensive; swap the comparison to STM by name is not
+	// supported (Figure11 is fixed to LHMM/DMM per the paper), so run
+	// it fully but with the tiny seq config.
+	cs, err := Figure11(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.MeanPosErrM <= 0 {
+		t.Error("no positioning error measured")
+	}
+	art := cs.ASCII(60, 20)
+	if !strings.Contains(art, "ground truth") || !strings.Contains(art, "#") {
+		t.Errorf("ASCII art missing elements:\n%s", art)
+	}
+	gj, err := cs.GeoJSON(geo.Anchor{Origin: geo.LatLon{Lat: 30, Lon: 120}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"FeatureCollection", "ground-truth", "LHMM", "DMM"} {
+		if !strings.Contains(string(gj), want) {
+			t.Errorf("GeoJSON missing %q", want)
+		}
+	}
+}
+
+func TestCaseStudySVG(t *testing.T) {
+	cs := &CaseStudy{
+		TripID:      3,
+		MeanPosErrM: 512,
+		Truth:       geo.Polyline{geo.Pt(0, 0), geo.Pt(500, 0), geo.Pt(500, 400)},
+		Cell:        geo.Polyline{geo.Pt(30, 120), geo.Pt(420, -80), geo.Pt(600, 380)},
+		Matched: map[string]geo.Polyline{
+			"LHMM": {geo.Pt(0, 0), geo.Pt(500, 0), geo.Pt(500, 400)},
+			"DMM":  {geo.Pt(0, 0), geo.Pt(0, 400), geo.Pt(500, 400)},
+		},
+		CMF: map[string]float64{"LHMM": 0.1, "DMM": 0.5},
+	}
+	svg := string(cs.SVG(600))
+	for _, want := range []string{"<svg", "polyline", "ground truth", "LHMM", "DMM", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Degenerate case study yields a valid empty document.
+	empty := &CaseStudy{}
+	if !strings.Contains(string(empty.SVG(600)), "<svg") {
+		t.Error("empty SVG malformed")
+	}
+}
+
+// TestGroundTruthFidelity validates the paper's label recipe against
+// the simulator labels: a classical HMM on the (low-noise) GPS track
+// should recover the true path with high corridor accuracy.
+func TestGroundTruthFidelity(t *testing.T) {
+	s := tinySuite("fid-test", 38)
+	ds, err := s.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := GroundTruthFidelity(ds, ds.TestTrips())
+	t.Logf("GPS-HMM vs simulator truth: P=%.3f R=%.3f CMF50=%.3f", sum.Precision, sum.Recall, sum.CMF)
+	if sum.CMF > 0.15 {
+		t.Errorf("GPS-derived labels diverge from simulator truth: CMF50 %.3f", sum.CMF)
+	}
+	if sum.Recall < 0.7 {
+		t.Errorf("GPS matcher recall %.3f too low for 8 m noise", sum.Recall)
+	}
+}

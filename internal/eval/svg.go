@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geo"
+)
+
+// svgPalette assigns stable colors to the case-study layers.
+var svgPalette = []string{"#d62728", "#1f77b4", "#9467bd", "#8c564b"}
+
+// SVG renders the case study as a standalone SVG document: ground
+// truth in black, the cellular trajectory as gray points connected by
+// a dashed line, and each method's matched path in color — the Fig. 11
+// visualization as a publishable vector image.
+func (c *CaseStudy) SVG(width int) []byte {
+	if width < 100 {
+		width = 800
+	}
+	box, ok := c.Truth.BBox()
+	if !ok {
+		return []byte("<svg xmlns=\"http://www.w3.org/2000/svg\"/>")
+	}
+	for _, pl := range c.Matched {
+		if b2, ok := pl.BBox(); ok {
+			box = box.Union(b2)
+		}
+	}
+	if b2, ok := c.Cell.BBox(); ok {
+		box = box.Union(b2)
+	}
+	box = box.Buffer(80)
+	if box.Width() <= 0 || box.Height() <= 0 {
+		box = box.Buffer(1)
+	}
+	scale := float64(width) / box.Width()
+	height := int(box.Height()*scale) + 40 // room for the legend
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+
+	toXY := func(p geo.Point) (float64, float64) {
+		return (p.X - box.Min.X) * scale, float64(height-40) - (p.Y-box.Min.Y)*scale
+	}
+	polyline := func(pl geo.Polyline, stroke string, widthPx float64, dashed bool) {
+		if len(pl) < 2 {
+			return
+		}
+		var pts []string
+		for _, p := range pl {
+			x, y := toXY(p)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		dash := ""
+		if dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"%s stroke-linecap="round"/>`,
+			strings.Join(pts, " "), stroke, widthPx, dash)
+	}
+
+	polyline(c.Truth, "#000000", 3, false)
+	polyline(c.Cell, "#999999", 1.5, true)
+	for _, p := range c.Cell {
+		x, y := toXY(p)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="#999999"/>`, x, y)
+	}
+	names := sortedKeys(c.Matched)
+	for i, name := range names {
+		polyline(c.Matched[name], svgPalette[i%len(svgPalette)], 2.5, false)
+	}
+
+	// Legend.
+	ly := height - 22
+	lx := 10.0
+	entry := func(color, label string) {
+		fmt.Fprintf(&b, `<rect x="%.0f" y="%d" width="14" height="4" fill="%s"/>`, lx, ly, color)
+		fmt.Fprintf(&b, `<text x="%.0f" y="%d" font-family="sans-serif" font-size="12">%s</text>`,
+			lx+18, ly+6, label)
+		lx += float64(len(label))*7 + 45
+	}
+	entry("#000000", "ground truth")
+	entry("#999999", "cellular trajectory")
+	for i, name := range names {
+		entry(svgPalette[i%len(svgPalette)], fmt.Sprintf("%s (CMF %.3f)", name, c.CMF[name]))
+	}
+	b.WriteString("</svg>")
+	return []byte(b.String())
+}

@@ -1,0 +1,76 @@
+package geo
+
+import "math"
+
+// Segment is a directed straight line segment from A to B.
+type Segment struct {
+	A Point
+	B Point
+}
+
+// Length returns the segment length in meters.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Bearing returns the direction of travel along the segment in radians,
+// counterclockwise from the positive x axis.
+func (s Segment) Bearing() float64 { return s.A.Bearing(s.B) }
+
+// Midpoint returns the segment midpoint.
+func (s Segment) Midpoint() Point { return s.A.Lerp(s.B, 0.5) }
+
+// ClosestFraction returns the parameter t in [0,1] such that
+// s.A.Lerp(s.B, t) is the point on the segment closest to p.
+// For a degenerate (zero-length) segment it returns 0.
+func (s Segment) ClosestFraction(p Point) float64 {
+	d := s.B.Sub(s.A)
+	den := d.Dot(d)
+	if den == 0 {
+		return 0
+	}
+	t := p.Sub(s.A).Dot(d) / den
+	return math.Max(0, math.Min(1, t))
+}
+
+// Project returns the point on the segment closest to p.
+func (s Segment) Project(p Point) Point {
+	return s.A.Lerp(s.B, s.ClosestFraction(p))
+}
+
+// Dist returns the Euclidean distance from p to the nearest point on
+// the segment, in meters.
+func (s Segment) Dist(p Point) float64 {
+	return p.Dist(s.Project(p))
+}
+
+// DistSq returns the squared distance from p to the segment.
+func (s Segment) DistSq(p Point) float64 {
+	return p.DistSq(s.Project(p))
+}
+
+// NormalizeAngle wraps an angle in radians into (-π, π].
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a <= -math.Pi {
+		a += 2 * math.Pi
+	} else if a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	return a
+}
+
+// AngleDiff returns the absolute difference between two bearings in
+// radians, in [0, π].
+func AngleDiff(a, b float64) float64 {
+	return math.Abs(NormalizeAngle(a - b))
+}
+
+// TurnAngle returns the absolute change of heading, in radians, when
+// moving through the three points a -> b -> c. Collinear forward motion
+// yields 0; a U-turn yields π. Degenerate inputs (repeated points)
+// yield 0.
+func TurnAngle(a, b, c Point) float64 {
+	if a == b || b == c {
+		return 0
+	}
+	return AngleDiff(a.Bearing(b), b.Bearing(c))
+}

@@ -1,0 +1,126 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentProject(t *testing.T) {
+	s := Segment{Pt(0, 0), Pt(10, 0)}
+	cases := []struct {
+		p    Point
+		want Point
+	}{
+		{Pt(5, 3), Pt(5, 0)},    // interior projection
+		{Pt(-4, 2), Pt(0, 0)},   // clamps to A
+		{Pt(15, -7), Pt(10, 0)}, // clamps to B
+		{Pt(10, 0), Pt(10, 0)},  // on endpoint
+	}
+	for _, c := range cases {
+		if got := s.Project(c.p); got.Dist(c.want) > 1e-12 {
+			t.Errorf("Project(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSegmentDegenerate(t *testing.T) {
+	s := Segment{Pt(3, 3), Pt(3, 3)}
+	if got := s.Project(Pt(0, 0)); got != Pt(3, 3) {
+		t.Errorf("degenerate Project = %v, want (3,3)", got)
+	}
+	if got := s.Dist(Pt(0, 3)); got != 3 {
+		t.Errorf("degenerate Dist = %v, want 3", got)
+	}
+	if got := s.Length(); got != 0 {
+		t.Errorf("degenerate Length = %v, want 0", got)
+	}
+}
+
+// Property: the projection is never farther from p than either endpoint.
+func TestProjectIsClosest(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		s := Segment{randPt(rng), randPt(rng)}
+		p := randPt(rng)
+		d := s.Dist(p)
+		if d > p.Dist(s.A)+1e-9 || d > p.Dist(s.B)+1e-9 {
+			t.Fatalf("projection distance %v exceeds endpoint distance (%v, %v)",
+				d, p.Dist(s.A), p.Dist(s.B))
+		}
+		// And never farther than any sampled point on the segment.
+		for _, tt := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+			if q := s.A.Lerp(s.B, tt); d > p.Dist(q)+1e-9 {
+				t.Fatalf("projection %v farther than interior point %v", d, p.Dist(q))
+			}
+		}
+	}
+}
+
+func randPt(rng *rand.Rand) Point {
+	return Pt(rng.Float64()*2000-1000, rng.Float64()*2000-1000)
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, -math.Pi / 2},
+		{5 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeAngleProperty(t *testing.T) {
+	f := func(a float64) bool {
+		a = clampCoord(a)
+		n := NormalizeAngle(a)
+		if n <= -math.Pi || n > math.Pi+1e-12 {
+			return false
+		}
+		// Same direction: cos and sin must agree.
+		return almostEqual(math.Cos(a), math.Cos(n), 1e-6) &&
+			almostEqual(math.Sin(a), math.Sin(n), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if d := AngleDiff(0.1, -0.1); !almostEqual(d, 0.2, 1e-12) {
+		t.Errorf("AngleDiff = %v, want 0.2", d)
+	}
+	// Wraparound: 179° vs -179° differ by 2°, not 358°.
+	a, b := 179*math.Pi/180, -179*math.Pi/180
+	if d := AngleDiff(a, b); !almostEqual(d, 2*math.Pi/180, 1e-9) {
+		t.Errorf("AngleDiff wrap = %v, want 2 degrees", d)
+	}
+}
+
+func TestTurnAngle(t *testing.T) {
+	// Straight line: no turn.
+	if a := TurnAngle(Pt(0, 0), Pt(1, 0), Pt(2, 0)); a != 0 {
+		t.Errorf("straight TurnAngle = %v, want 0", a)
+	}
+	// Right angle.
+	if a := TurnAngle(Pt(0, 0), Pt(1, 0), Pt(1, 1)); !almostEqual(a, math.Pi/2, 1e-12) {
+		t.Errorf("right-angle TurnAngle = %v, want pi/2", a)
+	}
+	// U-turn.
+	if a := TurnAngle(Pt(0, 0), Pt(1, 0), Pt(0, 0)); !almostEqual(a, math.Pi, 1e-12) {
+		t.Errorf("u-turn TurnAngle = %v, want pi", a)
+	}
+	// Degenerate (repeated point).
+	if a := TurnAngle(Pt(0, 0), Pt(0, 0), Pt(1, 1)); a != 0 {
+		t.Errorf("degenerate TurnAngle = %v, want 0", a)
+	}
+}

@@ -1,0 +1,44 @@
+package hmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// Ablation benches (DESIGN.md §6): shortcut construction cost and the
+// step-score memoization's effect on Viterbi.
+
+func benchTrajectory(rng *rand.Rand, n int) traj.CellTrajectory {
+	ct := make(traj.CellTrajectory, n)
+	x, y := 200.0, 400.0
+	for i := 0; i < n; i++ {
+		x += 80 + rng.Float64()*120
+		y += rng.Float64()*300 - 150
+		ct[i] = traj.CellPoint{Tower: -1, P: geo.Pt(x, y), T: float64(i) * 60}
+	}
+	return ct
+}
+
+func benchMatch(b *testing.B, k, shortcuts int) {
+	net, r := gridWorld(b, 25, 12)
+	m := classicMatcher(net, r, k, shortcuts)
+	rng := rand.New(rand.NewSource(7))
+	trajs := make([]traj.CellTrajectory, 16)
+	for i := range trajs {
+		trajs[i] = benchTrajectory(rng, 12)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Match(trajs[i%len(trajs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchNoShortcuts(b *testing.B)   { benchMatch(b, 10, 0) }
+func BenchmarkMatchOneShortcut(b *testing.B)   { benchMatch(b, 10, 1) }
+func BenchmarkMatchFourShortcuts(b *testing.B) { benchMatch(b, 10, 4) }
+func BenchmarkMatchLargeK(b *testing.B)        { benchMatch(b, 30, 1) }

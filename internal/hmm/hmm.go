@@ -1,0 +1,281 @@
+// Package hmm provides the HMM map-matching backbone shared by LHMM and
+// the HMM-family baselines: candidate road preparation, the candidate
+// graph, Viterbi path-finding (Algorithm 1), the shortcut optimization
+// that skips unqualified candidate sets (Algorithm 2, Observation 1),
+// and the classical distance-based probability models (Eqs. 2–3).
+package hmm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// Candidate is one candidate road segment for one trajectory point
+// (Definition 4), carrying its projection and observation score.
+type Candidate struct {
+	Seg  roadnet.SegmentID
+	Frac float64   // fraction along the segment of the projected point
+	Proj geo.Point // projected position on the segment
+	Dist float64   // distance from the trajectory point to the segment
+	Obs  float64   // observation probability P_O(c|x)
+	// pseudo marks candidates synthesized by the shortcut optimization
+	// (the projected road c_{i-1}^u of Eq. 21).
+	pseudo bool
+}
+
+// Pos returns the candidate as an on-road point for routing.
+func (c *Candidate) Pos() roadnet.PointOnRoad {
+	return roadnet.PointOnRoad{Seg: c.Seg, Frac: c.Frac}
+}
+
+// ObservationModel scores the candidate roads of trajectory points.
+type ObservationModel interface {
+	// Candidates returns up to k candidate segments for point i of the
+	// trajectory, each with its observation probability, sorted by
+	// descending probability.
+	Candidates(ct traj.CellTrajectory, i, k int) []Candidate
+	// Score fills the observation probability for an arbitrary
+	// candidate of point i (used to score shortcut pseudo-candidates).
+	Score(ct traj.CellTrajectory, i int, c *Candidate) float64
+}
+
+// TransitionModel scores the movement between candidates of consecutive
+// trajectory points.
+type TransitionModel interface {
+	// Score returns P_T for moving from the candidate of point i-1 to
+	// the candidate of point i via the shortest path. ok=false means
+	// the movement is impossible (unreachable within bounds).
+	Score(ct traj.CellTrajectory, i int, from, to *Candidate) (float64, bool)
+}
+
+// Result is the output of Viterbi path-finding.
+type Result struct {
+	// Matched holds the chosen candidate per point. Points skipped via
+	// a shortcut have Skipped set and carry the pseudo-candidate the
+	// shortcut projected for them.
+	Matched []Candidate
+	Skipped []bool
+	// Candidates holds the prepared candidate set per point (before
+	// shortcut pseudo-candidates), for hitting-ratio evaluation.
+	Candidates [][]Candidate
+	// Path is the connected traveled path obtained by expanding the
+	// routes between consecutive matched candidates.
+	Path []roadnet.SegmentID
+	// Score is the final candidate-path score (Eq. 14 form).
+	Score float64
+	// ShortcutAdoptions counts how many table entries Algorithm 2
+	// improved (diagnostic; a skipped point also sets Skipped).
+	ShortcutAdoptions int
+}
+
+// Scoring selects how candidate paths accumulate step scores.
+type Scoring int
+
+const (
+	// ScoreSum is the paper's Eq. 14: candidate paths sum the
+	// P_T·P_O products of their steps.
+	ScoreSum Scoring = iota
+	// ScoreLogProd is the classical HMM objective: paths maximize the
+	// product of step probabilities, accumulated as a sum of logs
+	// (floored to keep zero-probability steps finite). An ablation of
+	// the paper's design choice (DESIGN.md §6).
+	ScoreLogProd
+)
+
+// Config parameterizes the matcher.
+type Config struct {
+	// K is the number of candidate roads per point (§V-A2: 30 for
+	// LHMM, 45 for baselines).
+	K int
+	// Shortcuts is the number of one-hop shortcut predecessors per
+	// candidate (the paper's K in §IV-E2; 1 is sufficient, 0 disables).
+	Shortcuts int
+	// Scoring selects sum-of-products (the paper) or log-product
+	// accumulation.
+	Scoring Scoring
+}
+
+// Matcher runs HMM path-finding with pluggable probability models —
+// classical models yield the baselines, learned models yield LHMM.
+type Matcher struct {
+	Net    *roadnet.Network
+	Router *roadnet.Router
+	Obs    ObservationModel
+	Trans  TransitionModel
+	Cfg    Config
+}
+
+// Match runs candidate preparation, Viterbi, and (if enabled) the
+// shortcut optimization on one cellular trajectory.
+func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
+	if len(ct) == 0 {
+		return nil, fmt.Errorf("hmm: empty trajectory")
+	}
+	k := m.Cfg.K
+	if k <= 0 {
+		k = 30
+	}
+
+	// Step 1: candidate preparation.
+	layers := make([][]Candidate, len(ct))
+	for i := range ct {
+		layers[i] = m.Obs.Candidates(ct, i, k)
+		if len(layers[i]) == 0 {
+			return nil, fmt.Errorf("hmm: no candidates for point %d", i)
+		}
+	}
+	keep := make([][]Candidate, len(layers))
+	for i := range layers {
+		keep[i] = append([]Candidate(nil), layers[i]...)
+	}
+
+	// Steps 2–3: candidate graph scores + Viterbi forward pass. Step
+	// scores between consecutive layers are memoized (steps[i][j][kk] =
+	// W(c_{i-1}^j → c_i^kk), NaN when unreachable) so the shortcut pass
+	// can reuse them instead of re-running the transition model.
+	n := len(ct)
+	f := make([][]float64, n)
+	pre := make([][]int, n) // index into layers[i-1]; -1 for none
+	steps := make([][][]float64, n)
+	f[0] = make([]float64, len(layers[0]))
+	pre[0] = make([]int, len(layers[0]))
+	for j := range layers[0] {
+		f[0][j] = m.accum(layers[0][j].Obs)
+		pre[0][j] = -1
+	}
+	for i := 1; i < n; i++ {
+		f[i] = make([]float64, len(layers[i]))
+		pre[i] = make([]int, len(layers[i]))
+		steps[i] = make([][]float64, len(layers[i-1]))
+		for j := range layers[i-1] {
+			steps[i][j] = make([]float64, len(layers[i]))
+			for kk := range steps[i][j] {
+				steps[i][j][kk] = math.NaN()
+			}
+		}
+		for kk := range layers[i] {
+			best, bestJ := math.Inf(-1), -1
+			for j := range layers[i-1] {
+				w, ok := m.stepScore(ct, i, &layers[i-1][j], &layers[i][kk])
+				if !ok {
+					continue
+				}
+				steps[i][j][kk] = w
+				if math.IsInf(f[i-1][j], -1) {
+					continue
+				}
+				if s := f[i-1][j] + w; s > best {
+					best, bestJ = s, j
+				}
+			}
+			if bestJ < 0 {
+				// All predecessors unreachable: restart scoring here so
+				// one broken layer cannot void the whole trajectory.
+				f[i][kk] = m.accum(layers[i][kk].Obs)
+				pre[i][kk] = -1
+				continue
+			}
+			f[i][kk] = best
+			pre[i][kk] = bestJ
+		}
+	}
+
+	// Shortcut optimization (Algorithm 2).
+	adoptions := 0
+	if m.Cfg.Shortcuts > 0 && n >= 3 {
+		adoptions = m.addShortcuts(ct, layers, f, pre, steps)
+	}
+
+	// Backward pass.
+	res := &Result{
+		Matched:           make([]Candidate, n),
+		Skipped:           make([]bool, n),
+		Candidates:        keep,
+		ShortcutAdoptions: adoptions,
+	}
+	lastBest, lastIdx := math.Inf(-1), 0
+	for j := range layers[n-1] {
+		if f[n-1][j] > lastBest {
+			lastBest, lastIdx = f[n-1][j], j
+		}
+	}
+	res.Score = lastBest
+	idx := lastIdx
+	for i := n - 1; i >= 0; i-- {
+		res.Matched[i] = layers[i][idx]
+		res.Skipped[i] = layers[i][idx].pseudo
+		if i > 0 {
+			idx = pre[i][idx]
+			if idx < 0 {
+				// Restarted chain: pick the best candidate of the
+				// previous layer independently.
+				best := math.Inf(-1)
+				for j := range layers[i-1] {
+					if f[i-1][j] > best {
+						best, idx = f[i-1][j], j
+					}
+				}
+			}
+		}
+	}
+
+	res.Path = m.expandPath(res.Matched)
+	return res, nil
+}
+
+// stepScore is Eq. 13: W(a→b) = P_T(a→b) · P_O(b|x_i), accumulated
+// per the configured scoring.
+func (m *Matcher) stepScore(ct traj.CellTrajectory, i int, from, to *Candidate) (float64, bool) {
+	pt, ok := m.Trans.Score(ct, i, from, to)
+	if !ok {
+		return 0, false
+	}
+	return m.accum(pt * to.Obs), true
+}
+
+// accum maps a step probability into the additive scoring domain.
+func (m *Matcher) accum(p float64) float64 {
+	if m.Cfg.Scoring == ScoreLogProd {
+		const floor = -20
+		if p <= 0 {
+			return floor
+		}
+		l := math.Log(p)
+		if l < floor {
+			return floor
+		}
+		return l
+	}
+	return p
+}
+
+// expandPath concatenates the shortest-path routes between consecutive
+// matched candidates into one traveled path.
+func (m *Matcher) expandPath(matched []Candidate) []roadnet.SegmentID {
+	var path []roadnet.SegmentID
+	appendSeg := func(s roadnet.SegmentID) {
+		if len(path) == 0 || path[len(path)-1] != s {
+			path = append(path, s)
+		}
+	}
+	for i := 1; i < len(matched); i++ {
+		route, ok := m.Router.RouteBetween(matched[i-1].Pos(), matched[i].Pos())
+		if !ok {
+			// Unreachable gap: emit both endpoints and continue.
+			appendSeg(matched[i-1].Seg)
+			appendSeg(matched[i].Seg)
+			continue
+		}
+		for _, s := range route.Segs {
+			appendSeg(s)
+		}
+	}
+	if len(path) == 0 && len(matched) > 0 {
+		path = append(path, matched[0].Seg)
+	}
+	return path
+}

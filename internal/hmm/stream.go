@@ -1,0 +1,147 @@
+package hmm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// StreamMatcher is an online variant of the matcher: points arrive one
+// at a time and matches are emitted with a fixed lag (fixed-lag
+// smoothing over the same candidate-graph Viterbi recurrence). A match
+// for point i becomes final once point i+Lag has been processed —
+// enough look-ahead for the transition evidence to disambiguate, while
+// keeping bounded latency for real-time pipelines (SnapNet's setting
+// [12]).
+//
+// Shortcuts are not applied in streaming mode: Algorithm 2 revises
+// earlier table entries, which would contradict already-emitted
+// matches. Use the batch Matcher when offline accuracy matters most.
+type StreamMatcher struct {
+	M *Matcher
+	// Lag is the number of future points observed before a match is
+	// finalized. 0 emits greedily per point.
+	Lag int
+
+	ct      traj.CellTrajectory
+	layers  [][]Candidate
+	f       [][]float64
+	pre     [][]int
+	emitted int // points finalized so far
+	matched []Candidate
+}
+
+// NewStreamMatcher wraps a configured Matcher for streaming use.
+func NewStreamMatcher(m *Matcher, lag int) *StreamMatcher {
+	if lag < 0 {
+		lag = 0
+	}
+	return &StreamMatcher{M: m, Lag: lag}
+}
+
+// Push processes the next trajectory point and returns any newly
+// finalized matches (zero or one per call in steady state).
+func (s *StreamMatcher) Push(p traj.CellPoint) ([]Candidate, error) {
+	s.ct = append(s.ct, p)
+	i := len(s.ct) - 1
+	k := s.M.Cfg.K
+	if k <= 0 {
+		k = 30
+	}
+	layer := s.M.Obs.Candidates(s.ct, i, k)
+	if len(layer) == 0 {
+		return nil, fmt.Errorf("hmm: stream: no candidates for point %d", i)
+	}
+	s.layers = append(s.layers, layer)
+	f := make([]float64, len(layer))
+	pre := make([]int, len(layer))
+	if i == 0 {
+		for j := range layer {
+			f[j] = s.M.accum(layer[j].Obs)
+			pre[j] = -1
+		}
+	} else {
+		for kk := range layer {
+			best, bestJ := math.Inf(-1), -1
+			for j := range s.layers[i-1] {
+				if math.IsInf(s.f[i-1][j], -1) {
+					continue
+				}
+				w, ok := s.M.stepScore(s.ct, i, &s.layers[i-1][j], &layer[kk])
+				if !ok {
+					continue
+				}
+				if sc := s.f[i-1][j] + w; sc > best {
+					best, bestJ = sc, j
+				}
+			}
+			if bestJ < 0 {
+				f[kk] = s.M.accum(layer[kk].Obs)
+				pre[kk] = -1
+				continue
+			}
+			f[kk] = best
+			pre[kk] = bestJ
+		}
+	}
+	s.f = append(s.f, f)
+	s.pre = append(s.pre, pre)
+
+	return s.emitUpTo(len(s.ct) - 1 - s.Lag), nil
+}
+
+// Flush finalizes all remaining points and returns their matches.
+func (s *StreamMatcher) Flush() []Candidate {
+	return s.emitUpTo(len(s.ct) - 1)
+}
+
+// emitUpTo finalizes matches for points [emitted, until] by
+// backtracking from the current best terminal candidate.
+func (s *StreamMatcher) emitUpTo(until int) []Candidate {
+	if until < s.emitted || len(s.ct) == 0 {
+		return nil
+	}
+	last := len(s.ct) - 1
+	bestIdx, best := 0, math.Inf(-1)
+	for j, v := range s.f[last] {
+		if v > best {
+			best, bestIdx = v, j
+		}
+	}
+	// Backtrack the whole chain, then emit the prefix.
+	chain := make([]int, last+1)
+	idx := bestIdx
+	for i := last; i >= 0; i-- {
+		chain[i] = idx
+		if i > 0 {
+			idx = s.pre[i][idx]
+			if idx < 0 {
+				bestPrev, b := 0, math.Inf(-1)
+				for j, v := range s.f[i-1] {
+					if v > b {
+						b, bestPrev = v, j
+					}
+				}
+				idx = bestPrev
+			}
+		}
+	}
+	var out []Candidate
+	for i := s.emitted; i <= until; i++ {
+		c := s.layers[i][chain[i]]
+		s.matched = append(s.matched, c)
+		out = append(out, c)
+	}
+	s.emitted = until + 1
+	return out
+}
+
+// Matched returns all finalized matches so far.
+func (s *StreamMatcher) Matched() []Candidate { return s.matched }
+
+// Path expands the finalized matches into a connected traveled path.
+func (s *StreamMatcher) Path() []roadnet.SegmentID {
+	return s.M.expandPath(s.matched)
+}

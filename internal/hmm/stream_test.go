@@ -1,0 +1,106 @@
+package hmm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestStreamMatchesBatchOnEasyTrack(t *testing.T) {
+	net, r := gridWorld(t, 8, 3)
+	pts := []geo.Point{
+		geo.Pt(20, 108), geo.Pt(150, 93), geo.Pt(290, 110),
+		geo.Pt(420, 95), geo.Pt(550, 104), geo.Pt(660, 96),
+	}
+	ct := trajAlong(pts...)
+
+	batch := classicMatcher(net, r, 8, 0)
+	batchRes, err := batch.Match(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sm := NewStreamMatcher(classicMatcher(net, r, 8, 0), 2)
+	var emitted []Candidate
+	for _, p := range ct {
+		out, err := sm.Push(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emitted = append(emitted, out...)
+	}
+	emitted = append(emitted, sm.Flush()...)
+
+	if len(emitted) != len(ct) {
+		t.Fatalf("stream emitted %d matches for %d points", len(emitted), len(ct))
+	}
+	// On an unambiguous track the fixed-lag stream agrees with batch.
+	for i := range emitted {
+		if emitted[i].Seg != batchRes.Matched[i].Seg {
+			a := net.Segment(emitted[i].Seg).Midpoint()
+			b := net.Segment(batchRes.Matched[i].Seg).Midpoint()
+			if math.Abs(a.Y-b.Y) > 1 {
+				t.Errorf("point %d: stream %v vs batch %v", i, a, b)
+			}
+		}
+	}
+	if len(sm.Matched()) != len(ct) {
+		t.Errorf("Matched() = %d", len(sm.Matched()))
+	}
+	if len(sm.Path()) == 0 {
+		t.Error("empty stream path")
+	}
+}
+
+func TestStreamEmissionTiming(t *testing.T) {
+	net, r := gridWorld(t, 8, 3)
+	sm := NewStreamMatcher(classicMatcher(net, r, 5, 0), 2)
+	pts := trajAlong(
+		geo.Pt(20, 100), geo.Pt(150, 100), geo.Pt(290, 100), geo.Pt(420, 100), geo.Pt(550, 100),
+	)
+	var counts []int
+	for _, p := range pts {
+		out, err := sm.Push(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, len(out))
+	}
+	// With lag 2, the first emission happens at the 3rd point.
+	if counts[0] != 0 || counts[1] != 0 || counts[2] != 1 {
+		t.Errorf("emission schedule = %v, want [0 0 1 ...]", counts)
+	}
+	rest := sm.Flush()
+	if len(rest) != 2 {
+		t.Errorf("Flush emitted %d, want 2", len(rest))
+	}
+	// Flushing again is a no-op.
+	if extra := sm.Flush(); len(extra) != 0 {
+		t.Errorf("second Flush emitted %d", len(extra))
+	}
+}
+
+func TestStreamZeroLag(t *testing.T) {
+	net, r := gridWorld(t, 6, 3)
+	sm := NewStreamMatcher(classicMatcher(net, r, 5, 0), 0)
+	ct := trajAlong(geo.Pt(20, 100), geo.Pt(150, 100))
+	out1, err := sm.Push(ct[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out1) != 1 {
+		t.Fatalf("zero-lag first push emitted %d", len(out1))
+	}
+	out2, err := sm.Push(ct[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2) != 1 {
+		t.Fatalf("zero-lag second push emitted %d", len(out2))
+	}
+	// Negative lag clamps to zero.
+	if sm2 := NewStreamMatcher(classicMatcher(net, r, 5, 0), -3); sm2.Lag != 0 {
+		t.Errorf("negative lag = %d", sm2.Lag)
+	}
+}

@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/geo"
+)
+
+// DiscreteFrechet computes the discrete Fréchet distance between two
+// polylines — the classical curve-similarity measure of the
+// map-matching literature (the paper's related work cites
+// Fréchet-based matching [24]). It is the minimum, over all monotone
+// couplings of the two vertex sequences, of the maximum pairwise
+// distance. Runs in O(|a|·|b|) time and O(|b|) space.
+//
+// Empty inputs return +Inf (no coupling exists).
+func DiscreteFrechet(a, b geo.Polyline) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	prev := make([]float64, len(b))
+	cur := make([]float64, len(b))
+	prev[0] = a[0].Dist(b[0])
+	for j := 1; j < len(b); j++ {
+		prev[j] = math.Max(prev[j-1], a[0].Dist(b[j]))
+	}
+	for i := 1; i < len(a); i++ {
+		cur[0] = math.Max(prev[0], a[i].Dist(b[0]))
+		for j := 1; j < len(b); j++ {
+			best := math.Min(prev[j], math.Min(prev[j-1], cur[j-1]))
+			cur[j] = math.Max(best, a[i].Dist(b[j]))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)-1]
+}
+
+// FrechetSimilarity resamples both polylines to a common vertex count
+// and returns their discrete Fréchet distance — a resolution-stable
+// variant for comparing matched paths with ground truth geometry.
+func FrechetSimilarity(a, b geo.Polyline, samples int) float64 {
+	if samples < 2 {
+		samples = 64
+	}
+	ra, rb := a.Resample(samples), b.Resample(samples)
+	return DiscreteFrechet(ra, rb)
+}

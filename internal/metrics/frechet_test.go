@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestDiscreteFrechetBasics(t *testing.T) {
+	a := geo.Polyline{geo.Pt(0, 0), geo.Pt(100, 0), geo.Pt(200, 0)}
+	// Identical curves: distance 0.
+	if d := DiscreteFrechet(a, a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	// Parallel offset by 30: distance 30.
+	b := geo.Polyline{geo.Pt(0, 30), geo.Pt(100, 30), geo.Pt(200, 30)}
+	if d := DiscreteFrechet(a, b); math.Abs(d-30) > 1e-12 {
+		t.Errorf("parallel distance = %v, want 30", d)
+	}
+	// Empty inputs: +Inf.
+	if d := DiscreteFrechet(nil, a); !math.IsInf(d, 1) {
+		t.Errorf("empty input = %v", d)
+	}
+}
+
+func TestDiscreteFrechetLeash(t *testing.T) {
+	// The classic example where Hausdorff would be small but Fréchet
+	// large: curves traversed in opposite directions.
+	a := geo.Polyline{geo.Pt(0, 0), geo.Pt(100, 0)}
+	rev := geo.Polyline{geo.Pt(100, 0), geo.Pt(0, 0)}
+	d := DiscreteFrechet(a, rev)
+	if d < 100-1e-9 {
+		t.Errorf("reversed-curve distance = %v, want >= 100", d)
+	}
+}
+
+// Properties: symmetry, triangle-like lower bound by endpoint
+// distances, and monotone growth under uniform offsets.
+func TestDiscreteFrechetProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	randPl := func(n int) geo.Polyline {
+		pl := make(geo.Polyline, n)
+		x, y := 0.0, 0.0
+		for i := range pl {
+			x += rng.Float64() * 100
+			y += rng.Float64()*60 - 30
+			pl[i] = geo.Pt(x, y)
+		}
+		return pl
+	}
+	for trial := 0; trial < 50; trial++ {
+		a := randPl(2 + rng.Intn(8))
+		b := randPl(2 + rng.Intn(8))
+		dab := DiscreteFrechet(a, b)
+		dba := DiscreteFrechet(b, a)
+		if math.Abs(dab-dba) > 1e-9 {
+			t.Fatalf("not symmetric: %v vs %v", dab, dba)
+		}
+		// The leash is at least the first-vertex and last-vertex gaps.
+		lo := math.Max(a[0].Dist(b[0]), a[len(a)-1].Dist(b[len(b)-1]))
+		if dab < lo-1e-9 {
+			t.Fatalf("distance %v below endpoint bound %v", dab, lo)
+		}
+		// Offsetting b uniformly by v grows the distance by at most |v|.
+		off := geo.Pt(50, -20)
+		shifted := make(geo.Polyline, len(b))
+		for i, p := range b {
+			shifted[i] = p.Add(off)
+		}
+		ds := DiscreteFrechet(a, shifted)
+		if ds > dab+off.Norm()+1e-9 {
+			t.Fatalf("offset grew distance too much: %v > %v + %v", ds, dab, off.Norm())
+		}
+	}
+}
+
+func TestFrechetSimilarity(t *testing.T) {
+	a := geo.Polyline{geo.Pt(0, 0), geo.Pt(1000, 0)}
+	b := geo.Polyline{geo.Pt(0, 40), geo.Pt(250, 40), geo.Pt(500, 40), geo.Pt(1000, 40)}
+	// Same shape at different vertex densities: resampling makes the
+	// comparison resolution-stable.
+	if d := FrechetSimilarity(a, b, 32); math.Abs(d-40) > 1 {
+		t.Errorf("FrechetSimilarity = %v, want ≈40", d)
+	}
+	// Default sample count kicks in for bad input.
+	if d := FrechetSimilarity(a, b, 0); math.Abs(d-40) > 1 {
+		t.Errorf("default samples = %v", d)
+	}
+}

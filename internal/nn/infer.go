@@ -1,0 +1,84 @@
+package nn
+
+import "math"
+
+// Forward-only (inference) implementations of the layers, operating on
+// plain matrices without tape bookkeeping. These are used on the hot
+// matching path where gradients are not needed.
+
+// Apply computes x·W + b without autodiff.
+func (l *Linear) Apply(x *Mat) *Mat {
+	out := NewMat(x.R, l.W.W.C)
+	MatMulInto(out, x, l.W.W)
+	for i := 0; i < out.R; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += l.B.W.W[j]
+		}
+	}
+	return out
+}
+
+// Apply runs the MLP forward without autodiff.
+func (m *MLP) Apply(x *Mat) *Mat {
+	for i, l := range m.Layers {
+		x = l.Apply(x)
+		if i < len(m.Layers)-1 {
+			applyActInPlace(m.Act, x)
+		}
+	}
+	return x
+}
+
+func applyActInPlace(a Activation, x *Mat) {
+	switch a {
+	case ActTanh:
+		for i, v := range x.W {
+			x.W[i] = math.Tanh(v)
+		}
+	case ActSigmoid:
+		for i, v := range x.W {
+			x.W[i] = 1 / (1 + math.Exp(-v))
+		}
+	default:
+		for i, v := range x.W {
+			if v < 0 {
+				x.W[i] = 0
+			}
+		}
+	}
+}
+
+// Apply computes the attention read-out without autodiff: query 1×d,
+// keys/values n×d. It returns the 1×d output and the attention weights.
+func (a *Attention) Apply(query, keys, values *Mat) (*Mat, []float64) {
+	n := keys.R
+	q := NewMat(1, a.Wq.W.C)
+	MatMulInto(q, query, a.Wq.W)
+	k := NewMat(n, a.Wk.W.C)
+	MatMulInto(k, keys, a.Wk.W)
+	h := a.Wq.W.C
+	scores := make([]float64, n)
+	feat := NewMat(1, 2*h)
+	for i := 0; i < n; i++ {
+		copy(feat.W[:h], q.W)
+		copy(feat.W[h:], k.Row(i))
+		for j := range feat.W {
+			feat.W[j] = math.Tanh(feat.W[j])
+		}
+		var s float64
+		for j, v := range feat.W {
+			s += v * a.Wv.W.W[j]
+		}
+		scores[i] = s
+	}
+	w := Softmax(scores)
+	out := NewMat(1, values.C)
+	for i := 0; i < n; i++ {
+		row := values.Row(i)
+		for j, v := range row {
+			out.W[j] += w[i] * v
+		}
+	}
+	return out, w
+}

@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The inference-mode Apply paths must agree exactly with the tape
+// forward pass.
+
+func TestLinearApplyMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear("l", 4, 3, rng)
+	x := NewMat(5, 4)
+	x.Xavier(rng)
+	tp := NewTape()
+	want := l.Forward(tp, tp.Const(x)).Val
+	got := l.Apply(x)
+	for i := range want.W {
+		if math.Abs(want.W[i]-got.W[i]) > 1e-12 {
+			t.Fatalf("Apply mismatch at %d: %v vs %v", i, got.W[i], want.W[i])
+		}
+	}
+}
+
+func TestMLPApplyMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, act := range []Activation{ActReLU, ActTanh, ActSigmoid} {
+		m := NewMLP("m", []int{3, 6, 2}, act, rng)
+		x := NewMat(4, 3)
+		x.Xavier(rng)
+		tp := NewTape()
+		want := m.Forward(tp, tp.Const(x)).Val
+		got := m.Apply(x)
+		for i := range want.W {
+			if math.Abs(want.W[i]-got.W[i]) > 1e-12 {
+				t.Fatalf("act %v: Apply mismatch at %d", act, i)
+			}
+		}
+	}
+}
+
+func TestAttentionApplyMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewAttention("a", 4, 3, rng)
+	q := NewMat(1, 4)
+	q.Xavier(rng)
+	k := NewMat(6, 4)
+	k.Xavier(rng)
+	v := NewMat(6, 4)
+	v.Xavier(rng)
+	tp := NewTape()
+	wantOut, wantW := a.Forward(tp, tp.Const(q), tp.Const(k), tp.Const(v))
+	gotOut, gotW := a.Apply(q, k, v)
+	for i := range wantOut.Val.W {
+		if math.Abs(wantOut.Val.W[i]-gotOut.W[i]) > 1e-12 {
+			t.Fatalf("output mismatch at %d: %v vs %v", i, gotOut.W[i], wantOut.Val.W[i])
+		}
+	}
+	for i := range gotW {
+		if math.Abs(wantW.Val.At(i, 0)-gotW[i]) > 1e-12 {
+			t.Fatalf("weight mismatch at %d", i)
+		}
+	}
+}

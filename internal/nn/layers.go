@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Module is anything exposing trainable parameters.
+type Module interface {
+	Params() []*Param
+}
+
+// Linear is a fully-connected layer: y = x·W + b.
+type Linear struct {
+	W *Param // in×out
+	B *Param // 1×out
+}
+
+// NewLinear creates a Linear layer with Xavier weights and zero bias.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	return &Linear{
+		W: NewParam(name+".W", in, out, rng),
+		B: NewZeroParam(name+".b", 1, out),
+	}
+}
+
+// Forward applies the layer to x (n×in) on the tape.
+func (l *Linear) Forward(tp *Tape, x *T) *T {
+	return tp.AddRow(tp.MatMul(x, tp.Var(l.W)), tp.Var(l.B))
+}
+
+// Params returns the layer's parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Activation selects the nonlinearity between MLP layers.
+type Activation int
+
+// Supported activations.
+const (
+	ActReLU Activation = iota
+	ActTanh
+	ActSigmoid
+)
+
+// apply places the activation on the tape.
+func (a Activation) apply(tp *Tape, x *T) *T {
+	switch a {
+	case ActTanh:
+		return tp.Tanh(x)
+	case ActSigmoid:
+		return tp.Sigmoid(x)
+	default:
+		return tp.ReLU(x)
+	}
+}
+
+// MLP is a multilayer perceptron with a shared hidden activation and a
+// linear output layer — the classifier head used by Eqs. 7, 8, 10, 12.
+type MLP struct {
+	Layers []*Linear
+	Act    Activation
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. sizes
+// [in, hidden, out] yields two Linear layers. At least two sizes are
+// required; it panics otherwise (programmer error).
+func NewMLP(name string, sizes []int, act Activation, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("nn: NewMLP %q: need at least 2 sizes", name))
+	}
+	m := &MLP{Act: act}
+	for i := 1; i < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewLinear(fmt.Sprintf("%s.%d", name, i-1), sizes[i-1], sizes[i], rng))
+	}
+	return m
+}
+
+// Forward applies the MLP: activation after every layer except the last.
+func (m *MLP) Forward(tp *Tape, x *T) *T {
+	for i, l := range m.Layers {
+		x = l.Forward(tp, x)
+		if i < len(m.Layers)-1 {
+			x = m.Act.apply(tp, x)
+		}
+	}
+	return x
+}
+
+// Params returns all layer parameters.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Attention is the additive attention of Eqs. 6 and 9:
+//
+//	score_j = W_v · tanh(W_q·q ⊕ W_k·k_j)
+//	out     = Σ_j softmax(score)_j · v_j
+//
+// where q is a single query row, and k/v are the key and value rows.
+type Attention struct {
+	Wq *Param // d×h
+	Wk *Param // d×h
+	Wv *Param // 2h×1
+}
+
+// NewAttention creates an additive attention module with input
+// dimension d and attention hidden size h.
+func NewAttention(name string, d, h int, rng *rand.Rand) *Attention {
+	return &Attention{
+		Wq: NewParam(name+".Wq", d, h, rng),
+		Wk: NewParam(name+".Wk", d, h, rng),
+		Wv: NewParam(name+".Wv", 2*h, 1, rng),
+	}
+}
+
+// Forward computes the attention read-out: query is 1×d, keys and
+// values are n×d (value rows weighted by key scores). It returns a 1×d
+// row and, for introspection, the n×1 attention weights node.
+func (a *Attention) Forward(tp *Tape, query, keys, values *T) (out, weights *T) {
+	n := keys.R()
+	q := tp.MatMul(query, tp.Var(a.Wq))       // 1×h
+	k := tp.MatMul(keys, tp.Var(a.Wk))        // n×h
+	qTiled := tp.RepeatRow(q, n)              // n×h
+	feat := tp.Tanh(tp.ConcatCols(qTiled, k)) // n×2h
+	scores := tp.MatMul(feat, tp.Var(a.Wv))   // n×1
+	// Softmax over the n scores: transpose to a row, softmax, keep row.
+	wRow := tp.SoftmaxRows(tp.Transpose(scores)) // 1×n
+	out = tp.MatMul(wRow, values)                // 1×d
+	return out, tp.Transpose(wRow)
+}
+
+// Params returns the attention parameters.
+func (a *Attention) Params() []*Param { return []*Param{a.Wq, a.Wk, a.Wv} }
+
+// Embedding is a trainable id→vector table (the W_init of §IV-B,
+// realized as a lookup since one-hot times a matrix is a row select).
+type Embedding struct {
+	Table *Param // V×d
+}
+
+// NewEmbedding creates an embedding table for vocab ids [0, v).
+func NewEmbedding(name string, v, d int, rng *rand.Rand) *Embedding {
+	return &Embedding{Table: NewParam(name, v, d, rng)}
+}
+
+// Forward looks up the embedding rows for ids.
+func (e *Embedding) Forward(tp *Tape, ids []int) *T {
+	return tp.Gather(tp.Var(e.Table), ids)
+}
+
+// Params returns the table parameter.
+func (e *Embedding) Params() []*Param { return []*Param{e.Table} }

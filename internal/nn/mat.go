@@ -1,0 +1,152 @@
+// Package nn is a small, dependency-free neural-network library built
+// for the LHMM reproduction: dense float64 matrices, tape-based
+// reverse-mode automatic differentiation, the layers the paper's
+// architecture needs (linear, MLP, additive attention, R-GCN message
+// passing is composed from these), cross-entropy with label smoothing,
+// and the Adam optimizer (§IV, §V-A2).
+//
+// It substitutes for the deep-learning stack the paper used (see
+// DESIGN.md §2): the math is the same, validated by finite-difference
+// gradient checks in the test suite, at laptop scale.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major matrix of float64.
+type Mat struct {
+	R, C int
+	W    []float64
+}
+
+// NewMat allocates an R×C zero matrix. It panics on non-positive
+// dimensions (programmer error).
+func NewMat(r, c int) *Mat {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %d×%d", r, c))
+	}
+	return &Mat{R: r, C: c, W: make([]float64, r*c)}
+}
+
+// FromSlice builds an R×C matrix from row-major data. It panics when
+// len(data) != r*c.
+func FromSlice(r, c int, data []float64) *Mat {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("nn: FromSlice: %d values for %d×%d", len(data), r, c))
+	}
+	m := NewMat(r, c)
+	copy(m.W, data)
+	return m
+}
+
+// RowVec builds a 1×n matrix from the values.
+func RowVec(vals ...float64) *Mat { return FromSlice(1, len(vals), vals) }
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.W[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.W[i*m.C+j] = v }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.R, m.C)
+	copy(out.W, m.W)
+	return out
+}
+
+// Zero sets every element to 0.
+func (m *Mat) Zero() {
+	for i := range m.W {
+		m.W[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Mat) Fill(v float64) {
+	for i := range m.W {
+		m.W[i] = v
+	}
+}
+
+// AddInPlace adds o elementwise. It panics on shape mismatch.
+func (m *Mat) AddInPlace(o *Mat) {
+	m.mustSameShape(o, "AddInPlace")
+	for i := range m.W {
+		m.W[i] += o.W[i]
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Mat) ScaleInPlace(s float64) {
+	for i := range m.W {
+		m.W[i] *= s
+	}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Mat) Row(i int) []float64 { return m.W[i*m.C : (i+1)*m.C] }
+
+// MaxAbs returns the largest absolute element value.
+func (m *Mat) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.W {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Xavier fills the matrix with Glorot-uniform values scaled by its
+// shape, the initialization used for every trainable weight.
+func (m *Mat) Xavier(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.R+m.C))
+	for i := range m.W {
+		m.W[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+func (m *Mat) mustSameShape(o *Mat, op string) {
+	if m.R != o.R || m.C != o.C {
+		panic(fmt.Sprintf("nn: %s: shape mismatch %d×%d vs %d×%d", op, m.R, m.C, o.R, o.C))
+	}
+}
+
+// MatMulInto computes dst = a·b. Shapes must agree; dst must be
+// preallocated a.R×b.C. Used by both the forward pass and the backward
+// closures.
+func MatMulInto(dst, a, b *Mat) {
+	if a.C != b.R || dst.R != a.R || dst.C != b.C {
+		panic(fmt.Sprintf("nn: MatMulInto: %d×%d · %d×%d -> %d×%d", a.R, a.C, b.R, b.C, dst.R, dst.C))
+	}
+	dst.Zero()
+	for i := 0; i < a.R; i++ {
+		ar := a.W[i*a.C : (i+1)*a.C]
+		dr := dst.W[i*dst.C : (i+1)*dst.C]
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.W[k*b.C : (k+1)*b.C]
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// TransposeInto computes dst = mᵀ. dst must be preallocated m.C×m.R.
+func TransposeInto(dst, m *Mat) {
+	if dst.R != m.C || dst.C != m.R {
+		panic("nn: TransposeInto: shape mismatch")
+	}
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			dst.W[j*dst.C+i] = m.W[i*m.C+j]
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// paramFile is the on-disk JSON schema for a parameter set.
+type paramFile struct {
+	Params []paramEntry `json:"params"`
+}
+
+type paramEntry struct {
+	Name string    `json:"name"`
+	R    int       `json:"r"`
+	C    int       `json:"c"`
+	W    []float64 `json:"w"`
+}
+
+// SaveParams serializes parameters (weights only; optimizer state is
+// not persisted) as JSON.
+func SaveParams(w io.Writer, params []*Param) error {
+	f := paramFile{Params: make([]paramEntry, len(params))}
+	for i, p := range params {
+		f.Params[i] = paramEntry{Name: p.Name, R: p.W.R, C: p.W.C, W: p.W.W}
+	}
+	if err := json.NewEncoder(w).Encode(f); err != nil {
+		return fmt.Errorf("nn: save params: %w", err)
+	}
+	return nil
+}
+
+// LoadParams restores weights written by SaveParams into the given
+// parameters, matching by name. Every parameter must be found with the
+// same shape; extra entries in the file are ignored.
+func LoadParams(r io.Reader, params []*Param) error {
+	var f paramFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("nn: load params: %w", err)
+	}
+	byName := make(map[string]paramEntry, len(f.Params))
+	for _, e := range f.Params {
+		byName[e.Name] = e
+	}
+	for _, p := range params {
+		e, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: load params: %q not in file", p.Name)
+		}
+		if e.R != p.W.R || e.C != p.W.C {
+			return fmt.Errorf("nn: load params: %q shape %d×%d, file has %d×%d",
+				p.Name, p.W.R, p.W.C, e.R, e.C)
+		}
+		copy(p.W.W, e.W)
+	}
+	return nil
+}

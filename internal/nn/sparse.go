@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sparse is an immutable CSR sparse matrix used for graph adjacency in
+// message passing. Build with NewSparse.
+type Sparse struct {
+	R, C   int
+	rowPtr []int
+	colIdx []int
+	vals   []float64
+}
+
+// Triple is one (row, col, value) entry for sparse construction.
+type Triple struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewSparse builds an R×C CSR matrix from triples. Duplicate (row, col)
+// entries are summed. Out-of-range indices return an error.
+func NewSparse(r, c int, triples []Triple) (*Sparse, error) {
+	for _, t := range triples {
+		if t.Row < 0 || t.Row >= r || t.Col < 0 || t.Col >= c {
+			return nil, fmt.Errorf("nn: sparse entry (%d,%d) outside %d×%d", t.Row, t.Col, r, c)
+		}
+	}
+	sorted := append([]Triple(nil), triples...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	s := &Sparse{R: r, C: c, rowPtr: make([]int, r+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		v := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		s.colIdx = append(s.colIdx, sorted[i].Col)
+		s.vals = append(s.vals, v)
+		s.rowPtr[sorted[i].Row+1] = len(s.colIdx)
+		i = j
+	}
+	for i := 1; i <= r; i++ {
+		if s.rowPtr[i] < s.rowPtr[i-1] {
+			s.rowPtr[i] = s.rowPtr[i-1]
+		}
+	}
+	return s, nil
+}
+
+// NNZ returns the number of stored entries.
+func (s *Sparse) NNZ() int { return len(s.vals) }
+
+// RowNormalize scales each row to sum to 1 (rows summing to 0 are left
+// unchanged), implementing the 1/|N| neighbor averaging of Eq. 4 —
+// weighted by edge values, so weighted relations (CO counts) average
+// proportionally.
+func (s *Sparse) RowNormalize() {
+	for i := 0; i < s.R; i++ {
+		var sum float64
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			sum += s.vals[k]
+		}
+		if sum == 0 {
+			continue
+		}
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			s.vals[k] /= sum
+		}
+	}
+}
+
+// Transpose returns a new CSR matrix equal to sᵀ.
+func (s *Sparse) Transpose() *Sparse {
+	triples := make([]Triple, 0, s.NNZ())
+	for i := 0; i < s.R; i++ {
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			triples = append(triples, Triple{Row: s.colIdx[k], Col: i, Val: s.vals[k]})
+		}
+	}
+	t, err := NewSparse(s.C, s.R, triples)
+	if err != nil {
+		// Unreachable: indices come from a valid matrix.
+		panic(err)
+	}
+	return t
+}
+
+// MulInto computes dst = s · x for dense x. dst must be s.R×x.C and
+// x must be s.C×x.C.
+func (s *Sparse) MulInto(dst, x *Mat) {
+	if x.R != s.C || dst.R != s.R || dst.C != x.C {
+		panic(fmt.Sprintf("nn: Sparse.MulInto: %d×%d · %d×%d -> %d×%d", s.R, s.C, x.R, x.C, dst.R, dst.C))
+	}
+	dst.Zero()
+	for i := 0; i < s.R; i++ {
+		dRow := dst.Row(i)
+		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
+			v := s.vals[k]
+			xRow := x.Row(s.colIdx[k])
+			for j, xv := range xRow {
+				dRow[j] += v * xv
+			}
+		}
+	}
+}
+
+// SpMM multiplies a constant sparse matrix by a dense tensor: out =
+// s·x, with gradient dX += sᵀ·dOut. st must be s.Transpose(); passing
+// it explicitly lets callers amortize the transpose across steps.
+func (tp *Tape) SpMM(s, st *Sparse, x *T) *T {
+	val := NewMat(s.R, x.C())
+	s.MulInto(val, x.Val)
+	var out *T
+	out = tp.node(val, func() {
+		g := NewMat(x.R(), x.C())
+		st.MulInto(g, out.Grad)
+		x.Grad.AddInPlace(g)
+	})
+	return out
+}

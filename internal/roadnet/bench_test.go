@@ -1,0 +1,74 @@
+package roadnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Ablation bench (DESIGN.md §6): the many-to-many shortest-path cache.
+// Map matching queries repeat source nodes heavily; the LRU of SSSP
+// trees turns repeated Dijkstra runs into lookups.
+
+func benchQueries(n *Network, rng *rand.Rand, count int) [][2]NodeID {
+	qs := make([][2]NodeID, count)
+	// Cluster sources to mimic candidate sets (few sources, many
+	// targets).
+	sources := make([]NodeID, 8)
+	for i := range sources {
+		sources[i] = NodeID(rng.Intn(n.NumNodes()))
+	}
+	for i := range qs {
+		qs[i] = [2]NodeID{
+			sources[rng.Intn(len(sources))],
+			NodeID(rng.Intn(n.NumNodes())),
+		}
+	}
+	return qs
+}
+
+func BenchmarkRouterCached(b *testing.B) {
+	n := buildGrid(b, 30, 30)
+	r := NewRouter(n, WithCacheSize(1024))
+	qs := benchQueries(n, rand.New(rand.NewSource(1)), 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		r.NodeDist(q[0], q[1])
+	}
+}
+
+func BenchmarkRouterUncached(b *testing.B) {
+	n := buildGrid(b, 30, 30)
+	// Capacity 1 with alternating sources defeats the cache.
+	r := NewRouter(n, WithCacheSize(1))
+	qs := benchQueries(n, rand.New(rand.NewSource(1)), 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		r.NodeDist(q[0], q[1])
+		// Evict by querying from a different source.
+		r.NodeDist(qs[(i+1)%len(qs)][0], q[1])
+	}
+}
+
+func BenchmarkShortestPathWeighted(b *testing.B) {
+	n := buildGrid(b, 30, 30)
+	rng := rand.New(rand.NewSource(2))
+	qs := benchQueries(n, rng, 256)
+	weight := func(s *Segment) float64 { return s.Length }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		n.ShortestPathWeighted(q[0], q[1], weight)
+	}
+}
+
+func BenchmarkSegmentsNear(b *testing.B) {
+	n := buildGrid(b, 40, 40)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := n.Node(NodeID(rng.Intn(n.NumNodes()))).P
+		n.SegmentsNear(p, 30)
+	}
+}

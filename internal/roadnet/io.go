@@ -1,0 +1,91 @@
+package roadnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geo"
+)
+
+// fileFormat is the on-disk JSON schema for a network.
+type fileFormat struct {
+	Nodes    []fileNode    `json:"nodes"`
+	Segments []fileSegment `json:"segments"`
+}
+
+type fileNode struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type fileSegment struct {
+	From  int         `json:"from"`
+	To    int         `json:"to"`
+	Class int         `json:"class"`
+	Speed float64     `json:"speed,omitempty"`
+	Via   [][]float64 `json:"via,omitempty"`
+}
+
+// Write serializes the network as JSON.
+func Write(w io.Writer, n *Network) error {
+	ff := fileFormat{
+		Nodes:    make([]fileNode, n.NumNodes()),
+		Segments: make([]fileSegment, n.NumSegments()),
+	}
+	for i := 0; i < n.NumNodes(); i++ {
+		p := n.Node(NodeID(i)).P
+		ff.Nodes[i] = fileNode{X: p.X, Y: p.Y}
+	}
+	for i := 0; i < n.NumSegments(); i++ {
+		s := n.Segment(SegmentID(i))
+		fs := fileSegment{
+			From:  int(s.From),
+			To:    int(s.To),
+			Class: int(s.Class),
+			Speed: s.Speed,
+		}
+		for _, p := range s.Shape[1 : len(s.Shape)-1] {
+			fs.Via = append(fs.Via, []float64{p.X, p.Y})
+		}
+		ff.Segments[i] = fs
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(ff); err != nil {
+		return fmt.Errorf("roadnet: write: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a network written by Write.
+func Read(rd io.Reader) (*Network, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(rd).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("roadnet: read: %w", err)
+	}
+	var b Builder
+	for _, fn := range ff.Nodes {
+		b.AddNode(geo.Pt(fn.X, fn.Y))
+	}
+	for i, fs := range ff.Segments {
+		via := make([]geo.Point, len(fs.Via))
+		for j, v := range fs.Via {
+			if len(v) != 2 {
+				return nil, fmt.Errorf("roadnet: read: segment %d via point %d has %d coords", i, j, len(v))
+			}
+			via[j] = geo.Pt(v[0], v[1])
+		}
+		sid, err := b.AddSegment(NodeID(fs.From), NodeID(fs.To), Class(fs.Class), via...)
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: read: segment %d: %w", i, err)
+		}
+		if fs.Speed > 0 {
+			b.segments[sid].Speed = fs.Speed
+		}
+	}
+	n, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("roadnet: read: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,287 @@
+// Package roadnet models the road network substrate: a directed graph
+// of intersections (nodes) and road segments (edges) with geometry,
+// spatial indexing for candidate retrieval, and shortest-path routing
+// with a per-source cache (the paper's precomputation table, §V-A2).
+package roadnet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/spatial"
+)
+
+// NodeID identifies an intersection or terminal point in the network.
+type NodeID int
+
+// SegmentID identifies a directed road segment.
+type SegmentID int
+
+// Class is a coarse road classification used to assign speed limits and
+// to steer the synthetic generator.
+type Class int
+
+// Road classes, from smallest to largest capacity.
+const (
+	Local Class = iota
+	Arterial
+	Highway
+)
+
+// String returns the lowercase class name.
+func (c Class) String() string {
+	switch c {
+	case Local:
+		return "local"
+	case Arterial:
+		return "arterial"
+	case Highway:
+		return "highway"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// DefaultSpeed returns a typical free-flow speed for the class in m/s.
+func (c Class) DefaultSpeed() float64 {
+	switch c {
+	case Highway:
+		return 27.8 // ~100 km/h
+	case Arterial:
+		return 16.7 // ~60 km/h
+	default:
+		return 11.1 // ~40 km/h
+	}
+}
+
+// Node is an intersection or terminal point.
+type Node struct {
+	ID NodeID
+	P  geo.Point
+}
+
+// Segment is a directed road segment between two nodes. Geometry is a
+// polyline whose first and last points coincide with the endpoints of
+// the From and To nodes.
+type Segment struct {
+	ID     SegmentID
+	From   NodeID
+	To     NodeID
+	Shape  geo.Polyline
+	Length float64 // meters, cached from Shape
+	Class  Class
+	Speed  float64 // free-flow speed, m/s
+}
+
+// Midpoint returns the point halfway along the segment geometry.
+func (s *Segment) Midpoint() geo.Point { return s.Shape.At(s.Length / 2) }
+
+// Bearing returns the overall direction of travel (start to end).
+func (s *Segment) Bearing() float64 {
+	return s.Shape[0].Bearing(s.Shape[len(s.Shape)-1])
+}
+
+// PointAt returns the point a fraction frac in [0,1] along the segment.
+func (s *Segment) PointAt(frac float64) geo.Point {
+	return s.Shape.At(s.Length * math.Max(0, math.Min(1, frac)))
+}
+
+// Network is an immutable road network. Build one with a Builder. All
+// methods are safe for concurrent use once built.
+type Network struct {
+	nodes    []Node
+	segments []Segment
+	out      [][]SegmentID // node -> outgoing segment ids
+	in       [][]SegmentID // node -> incoming segment ids
+	index    *spatial.Grid // over segment geometry
+	bounds   geo.Rect
+}
+
+// NumNodes returns the number of nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NumSegments returns the number of directed segments.
+func (n *Network) NumSegments() int { return len(n.segments) }
+
+// Node returns the node with the given id. It panics on a bad id.
+func (n *Network) Node(id NodeID) *Node { return &n.nodes[id] }
+
+// Segment returns the segment with the given id. It panics on a bad id.
+func (n *Network) Segment(id SegmentID) *Segment { return &n.segments[id] }
+
+// Out returns the ids of segments leaving the node. The returned slice
+// must not be modified.
+func (n *Network) Out(id NodeID) []SegmentID { return n.out[id] }
+
+// In returns the ids of segments entering the node. The returned slice
+// must not be modified.
+func (n *Network) In(id NodeID) []SegmentID { return n.in[id] }
+
+// Next returns the ids of segments that can follow s on a path (those
+// leaving s's To node). The returned slice must not be modified.
+func (n *Network) Next(s SegmentID) []SegmentID {
+	return n.out[n.segments[s].To]
+}
+
+// Prev returns the ids of segments that can precede s on a path.
+// The returned slice must not be modified.
+func (n *Network) Prev(s SegmentID) []SegmentID {
+	return n.in[n.segments[s].From]
+}
+
+// Bounds returns the bounding rectangle of all node positions.
+func (n *Network) Bounds() geo.Rect { return n.bounds }
+
+// TotalLength returns the summed length of all segments in meters.
+func (n *Network) TotalLength() float64 {
+	var total float64
+	for i := range n.segments {
+		total += n.segments[i].Length
+	}
+	return total
+}
+
+// segItem adapts a segment's polyline geometry to the spatial index.
+type segItem struct {
+	shape geo.Polyline
+	box   geo.Rect
+}
+
+func (si segItem) Bounds() geo.Rect           { return si.box }
+func (si segItem) DistTo(p geo.Point) float64 { return si.shape.Dist(p) }
+
+// SegmentsNear returns the k segments nearest to p, ascending by
+// geometric distance from p to the segment polyline.
+func (n *Network) SegmentsNear(p geo.Point, k int) []SegmentID {
+	ids := n.index.Nearest(p, k)
+	out := make([]SegmentID, len(ids))
+	for i, id := range ids {
+		out[i] = SegmentID(id)
+	}
+	return out
+}
+
+// SegmentsWithin returns all segments within radius meters of p,
+// ascending by distance.
+func (n *Network) SegmentsWithin(p geo.Point, radius float64) []SegmentID {
+	ids := n.index.Within(p, radius)
+	out := make([]SegmentID, len(ids))
+	for i, id := range ids {
+		out[i] = SegmentID(id)
+	}
+	return out
+}
+
+// DistTo returns the geometric distance from p to segment s.
+func (n *Network) DistTo(s SegmentID, p geo.Point) float64 {
+	return n.segments[s].Shape.Dist(p)
+}
+
+// Project returns the closest point on segment s to p and the fraction
+// along the segment at which it occurs.
+func (n *Network) Project(s SegmentID, p geo.Point) (geo.Point, float64) {
+	seg := &n.segments[s]
+	q, along, _, _ := seg.Shape.Project(p)
+	if seg.Length == 0 {
+		return q, 0
+	}
+	return q, along / seg.Length
+}
+
+// Builder accumulates nodes and segments and produces an immutable
+// Network. The zero value is ready to use.
+type Builder struct {
+	nodes    []Node
+	segments []Segment
+}
+
+// AddNode appends a node at p and returns its id.
+func (b *Builder) AddNode(p geo.Point) NodeID {
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{ID: id, P: p})
+	return id
+}
+
+// AddSegment appends a directed segment from one node to another with
+// optional intermediate shape points (excluding the endpoints, which
+// are taken from the nodes). It returns the new segment's id and an
+// error if either node id is out of range.
+func (b *Builder) AddSegment(from, to NodeID, class Class, via ...geo.Point) (SegmentID, error) {
+	if int(from) >= len(b.nodes) || from < 0 {
+		return 0, fmt.Errorf("roadnet: from node %d out of range", from)
+	}
+	if int(to) >= len(b.nodes) || to < 0 {
+		return 0, fmt.Errorf("roadnet: to node %d out of range", to)
+	}
+	shape := make(geo.Polyline, 0, len(via)+2)
+	shape = append(shape, b.nodes[from].P)
+	shape = append(shape, via...)
+	shape = append(shape, b.nodes[to].P)
+	id := SegmentID(len(b.segments))
+	b.segments = append(b.segments, Segment{
+		ID:     id,
+		From:   from,
+		To:     to,
+		Shape:  shape,
+		Length: shape.Length(),
+		Class:  class,
+		Speed:  class.DefaultSpeed(),
+	})
+	return id, nil
+}
+
+// AddTwoWay adds a pair of directed segments between two nodes and
+// returns both ids (forward, backward).
+func (b *Builder) AddTwoWay(a, c NodeID, class Class, via ...geo.Point) (SegmentID, SegmentID, error) {
+	fwd, err := b.AddSegment(a, c, class, via...)
+	if err != nil {
+		return 0, 0, err
+	}
+	rev := make([]geo.Point, len(via))
+	for i, p := range via {
+		rev[len(via)-1-i] = p
+	}
+	bwd, err := b.AddSegment(c, a, class, rev...)
+	if err != nil {
+		return 0, 0, err
+	}
+	return fwd, bwd, nil
+}
+
+// Build finalizes the network: it computes adjacency, bounds, and the
+// spatial index. An empty builder yields an error since a usable network
+// needs at least one segment.
+func (b *Builder) Build() (*Network, error) {
+	if len(b.segments) == 0 {
+		return nil, fmt.Errorf("roadnet: cannot build a network with no segments")
+	}
+	n := &Network{
+		nodes:    b.nodes,
+		segments: b.segments,
+		out:      make([][]SegmentID, len(b.nodes)),
+		in:       make([][]SegmentID, len(b.nodes)),
+	}
+	bounds := geo.Rect{Min: b.nodes[0].P, Max: b.nodes[0].P}
+	for _, nd := range b.nodes {
+		bounds = bounds.Extend(nd.P)
+	}
+	n.bounds = bounds
+
+	for i := range n.segments {
+		s := &n.segments[i]
+		n.out[s.From] = append(n.out[s.From], s.ID)
+		n.in[s.To] = append(n.in[s.To], s.ID)
+	}
+
+	// Cell size tuned to typical query radius; at least 50 m to keep
+	// the cell count bounded for tiny test networks.
+	cell := math.Max(50, math.Max(bounds.Width(), bounds.Height())/256)
+	n.index = spatial.NewGrid(bounds, cell)
+	for i := range n.segments {
+		s := &n.segments[i]
+		box, _ := s.Shape.BBox()
+		n.index.Insert(segItem{shape: s.Shape, box: box})
+	}
+	return n, nil
+}

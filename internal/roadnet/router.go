@@ -1,0 +1,312 @@
+package roadnet
+
+import (
+	"container/heap"
+	"container/list"
+	"math"
+	"sync"
+
+	"repro/internal/geo"
+)
+
+// PointOnRoad is a position expressed as a fraction along a segment —
+// the form candidate matches take during path-finding.
+type PointOnRoad struct {
+	Seg  SegmentID
+	Frac float64 // 0 at the segment start, 1 at the end
+}
+
+// Route is a path through the network between two on-road points.
+type Route struct {
+	Dist float64     // route length in meters
+	Segs []SegmentID // traversed segments, in order, inclusive of both ends
+}
+
+// Router answers shortest-path queries over a Network. Searches are
+// bounded by MaxDist and results of single-source runs are memoized in
+// an LRU cache, mirroring the precomputation table the paper uses to
+// avoid repeated shortest-path searches (§V-A2). Router is safe for
+// concurrent use.
+type Router struct {
+	net     *Network
+	maxDist float64
+
+	mu       sync.Mutex
+	cache    map[NodeID]*ssspResult
+	eviction *list.List // front = most recently used
+	capacity int
+}
+
+// ssspResult holds a bounded single-source shortest-path tree.
+type ssspResult struct {
+	source NodeID
+	dist   map[NodeID]float64
+	parent map[NodeID]SegmentID // segment used to reach the node
+	elem   *list.Element
+}
+
+// RouterOption configures a Router.
+type RouterOption func(*Router)
+
+// WithMaxDist bounds every search to the given route length in meters.
+// Queries beyond the bound report unreachable. Default 30 km.
+func WithMaxDist(d float64) RouterOption {
+	return func(r *Router) { r.maxDist = d }
+}
+
+// WithCacheSize sets how many single-source trees are memoized.
+// Default 4096.
+func WithCacheSize(n int) RouterOption {
+	return func(r *Router) { r.capacity = n }
+}
+
+// NewRouter creates a Router over the network.
+func NewRouter(net *Network, opts ...RouterOption) *Router {
+	r := &Router{
+		net:      net,
+		maxDist:  30000,
+		cache:    make(map[NodeID]*ssspResult),
+		eviction: list.New(),
+		capacity: 4096,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// MaxDist returns the search bound in meters.
+func (r *Router) MaxDist() float64 { return r.maxDist }
+
+// NodeDist returns the shortest route length between two nodes, or
+// ok=false if unreachable within the search bound.
+func (r *Router) NodeDist(from, to NodeID) (float64, bool) {
+	if from == to {
+		return 0, true
+	}
+	t := r.tree(from)
+	d, ok := t.dist[to]
+	return d, ok
+}
+
+// NodePath returns the segment sequence and length of the shortest
+// route between two nodes, or ok=false if unreachable within the bound.
+// An empty path with ok=true means from == to.
+func (r *Router) NodePath(from, to NodeID) ([]SegmentID, float64, bool) {
+	if from == to {
+		return nil, 0, true
+	}
+	t := r.tree(from)
+	d, ok := t.dist[to]
+	if !ok {
+		return nil, 0, false
+	}
+	// Walk parents back from to.
+	var rev []SegmentID
+	cur := to
+	for cur != from {
+		seg, ok := t.parent[cur]
+		if !ok {
+			return nil, 0, false // defensive: broken tree
+		}
+		rev = append(rev, seg)
+		cur = r.net.Segment(seg).From
+	}
+	path := make([]SegmentID, len(rev))
+	for i, s := range rev {
+		path[len(rev)-1-i] = s
+	}
+	return path, d, true
+}
+
+// RouteBetween returns the route from point a to point b, both given as
+// positions on road segments. Movement follows segment direction: the
+// route leaves a through the rest of its segment and enters b through
+// the start of b's segment, except when both points lie on the same
+// segment with b ahead of a. ok=false means b is unreachable within the
+// search bound.
+func (r *Router) RouteBetween(a, b PointOnRoad) (Route, bool) {
+	segA, segB := r.net.Segment(a.Seg), r.net.Segment(b.Seg)
+	if a.Seg == b.Seg && b.Frac >= a.Frac {
+		return Route{
+			Dist: (b.Frac - a.Frac) * segA.Length,
+			Segs: []SegmentID{a.Seg},
+		}, true
+	}
+	head := (1 - a.Frac) * segA.Length // remaining length of a's segment
+	tail := b.Frac * segB.Length       // consumed length of b's segment
+	if segA.To == segB.From {
+		return Route{
+			Dist: head + tail,
+			Segs: []SegmentID{a.Seg, b.Seg},
+		}, true
+	}
+	mid, d, ok := r.NodePath(segA.To, segB.From)
+	if !ok {
+		return Route{}, false
+	}
+	segs := make([]SegmentID, 0, len(mid)+2)
+	segs = append(segs, a.Seg)
+	segs = append(segs, mid...)
+	segs = append(segs, b.Seg)
+	return Route{Dist: head + d + tail, Segs: segs}, true
+}
+
+// Geometry returns the polyline of a route's traversed segments,
+// trimmed to the start and end positions.
+func (r *Router) Geometry(route Route, a, b PointOnRoad) geo.Polyline {
+	if len(route.Segs) == 0 {
+		return nil
+	}
+	var pl geo.Polyline
+	if len(route.Segs) == 1 {
+		seg := r.net.Segment(route.Segs[0])
+		start, end := a.Frac*seg.Length, b.Frac*seg.Length
+		return clipShape(seg.Shape, start, end)
+	}
+	first := r.net.Segment(route.Segs[0])
+	pl = append(pl, clipShape(first.Shape, a.Frac*first.Length, first.Length)...)
+	for _, sid := range route.Segs[1 : len(route.Segs)-1] {
+		shape := r.net.Segment(sid).Shape
+		pl = append(pl, shape[1:]...)
+	}
+	last := r.net.Segment(route.Segs[len(route.Segs)-1])
+	clipped := clipShape(last.Shape, 0, b.Frac*last.Length)
+	if len(clipped) > 0 {
+		pl = append(pl, clipped[1:]...)
+	}
+	return pl
+}
+
+// clipShape returns the part of the polyline between distances d0 and
+// d1 from the start (d0 <= d1 assumed after swap).
+func clipShape(shape geo.Polyline, d0, d1 float64) geo.Polyline {
+	if d1 < d0 {
+		d0, d1 = d1, d0
+	}
+	out := geo.Polyline{shape.At(d0)}
+	var walked float64
+	for i := 1; i < len(shape); i++ {
+		seg := shape[i-1].Dist(shape[i])
+		if walked+seg > d0 && walked+seg < d1 {
+			out = append(out, shape[i])
+		}
+		walked += seg
+	}
+	out = append(out, shape.At(d1))
+	return out
+}
+
+// tree returns the memoized bounded shortest-path tree rooted at from.
+func (r *Router) tree(from NodeID) *ssspResult {
+	r.mu.Lock()
+	if t, ok := r.cache[from]; ok {
+		r.eviction.MoveToFront(t.elem)
+		r.mu.Unlock()
+		return t
+	}
+	r.mu.Unlock()
+
+	t := r.dijkstra(from)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.cache[from]; ok {
+		// Another goroutine computed it concurrently; keep theirs.
+		r.eviction.MoveToFront(existing.elem)
+		return existing
+	}
+	t.elem = r.eviction.PushFront(from)
+	r.cache[from] = t
+	for len(r.cache) > r.capacity {
+		back := r.eviction.Back()
+		r.eviction.Remove(back)
+		delete(r.cache, back.Value.(NodeID))
+	}
+	return t
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// dijkstra runs a bounded single-source shortest-path search.
+func (r *Router) dijkstra(from NodeID) *ssspResult {
+	t := &ssspResult{
+		source: from,
+		dist:   map[NodeID]float64{from: 0},
+		parent: map[NodeID]SegmentID{},
+	}
+	settled := make(map[NodeID]bool)
+	q := &pq{{from, 0}}
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(pqItem)
+		if settled[cur.node] {
+			continue
+		}
+		settled[cur.node] = true
+		if cur.dist > r.maxDist {
+			break
+		}
+		for _, sid := range r.net.Out(cur.node) {
+			seg := r.net.Segment(sid)
+			nd := cur.dist + seg.Length
+			if nd > r.maxDist {
+				continue
+			}
+			if old, ok := t.dist[seg.To]; !ok || nd < old {
+				t.dist[seg.To] = nd
+				t.parent[seg.To] = sid
+				heap.Push(q, pqItem{seg.To, nd})
+			}
+		}
+	}
+	// Drop unsettled frontier entries beyond the bound so dist only
+	// contains final values.
+	for n, d := range t.dist {
+		if d > r.maxDist {
+			delete(t.dist, n)
+			delete(t.parent, n)
+		}
+	}
+	return t
+}
+
+// TravelTime returns the free-flow travel time of a route in seconds,
+// using each segment's speed. Clipped end segments are prorated by the
+// route's total distance.
+func (r *Router) TravelTime(route Route) float64 {
+	if len(route.Segs) == 0 {
+		return 0
+	}
+	var fullLen, fullTime float64
+	for _, sid := range route.Segs {
+		seg := r.net.Segment(sid)
+		fullLen += seg.Length
+		if seg.Speed > 0 {
+			fullTime += seg.Length / seg.Speed
+		}
+	}
+	if fullLen == 0 {
+		return 0
+	}
+	// Prorate: the route distance may be shorter than the sum of full
+	// segment lengths because the first/last segments are clipped.
+	return fullTime * math.Min(1, route.Dist/fullLen)
+}

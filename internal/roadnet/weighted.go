@@ -1,0 +1,99 @@
+package roadnet
+
+import "container/heap"
+
+// ShortestPathWeighted runs an uncached Dijkstra search from one node
+// to another under a caller-supplied edge weight (for example, length
+// perturbed by per-trip noise to simulate realistic non-shortest
+// routes). weight must be non-negative; segments with negative weight
+// are skipped. It returns the segment sequence, the total weight, and
+// whether a path exists.
+func (n *Network) ShortestPathWeighted(from, to NodeID, weight func(*Segment) float64) ([]SegmentID, float64, bool) {
+	if from == to {
+		return nil, 0, true
+	}
+	dist := map[NodeID]float64{from: 0}
+	parent := map[NodeID]SegmentID{}
+	settled := map[NodeID]bool{}
+	q := &pq{{from, 0}}
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(pqItem)
+		if settled[cur.node] {
+			continue
+		}
+		settled[cur.node] = true
+		if cur.node == to {
+			break
+		}
+		for _, sid := range n.Out(cur.node) {
+			seg := n.Segment(sid)
+			w := weight(seg)
+			if w < 0 {
+				continue
+			}
+			nd := cur.dist + w
+			if old, ok := dist[seg.To]; !ok || nd < old {
+				dist[seg.To] = nd
+				parent[seg.To] = sid
+				heap.Push(q, pqItem{seg.To, nd})
+			}
+		}
+	}
+	d, ok := dist[to]
+	if !ok || !settled[to] {
+		return nil, 0, false
+	}
+	var rev []SegmentID
+	cur := to
+	for cur != from {
+		sid, ok := parent[cur]
+		if !ok {
+			return nil, 0, false
+		}
+		rev = append(rev, sid)
+		cur = n.Segment(sid).From
+	}
+	path := make([]SegmentID, len(rev))
+	for i, s := range rev {
+		path[len(rev)-1-i] = s
+	}
+	return path, d, true
+}
+
+// LargestComponent returns the node ids of the largest weakly-connected
+// component (treating segments as undirected). The synthetic generator
+// uses it to confine trip endpoints to the routable part of the city
+// after random street removal.
+func (n *Network) LargestComponent() []NodeID {
+	visited := make([]bool, n.NumNodes())
+	var best []NodeID
+	for start := 0; start < n.NumNodes(); start++ {
+		if visited[start] {
+			continue
+		}
+		var comp []NodeID
+		stack := []NodeID{NodeID(start)}
+		visited[start] = true
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, cur)
+			for _, sid := range n.Out(cur) {
+				if t := n.Segment(sid).To; !visited[t] {
+					visited[t] = true
+					stack = append(stack, t)
+				}
+			}
+			for _, sid := range n.In(cur) {
+				if f := n.Segment(sid).From; !visited[f] {
+					visited[f] = true
+					stack = append(stack, f)
+				}
+			}
+		}
+		if len(comp) > len(best) {
+			best = comp
+		}
+	}
+	return best
+}

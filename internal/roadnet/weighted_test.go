@@ -1,0 +1,106 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestShortestPathWeightedMatchesRouter(t *testing.T) {
+	n := buildGrid(t, 5, 5)
+	r := NewRouter(n)
+	rng := rand.New(rand.NewSource(1))
+	lengthWeight := func(s *Segment) float64 { return s.Length }
+	for trial := 0; trial < 100; trial++ {
+		a := NodeID(rng.Intn(25))
+		b := NodeID(rng.Intn(25))
+		_, d1, ok1 := n.ShortestPathWeighted(a, b, lengthWeight)
+		d2, ok2 := r.NodeDist(a, b)
+		if ok1 != ok2 {
+			t.Fatalf("reachability mismatch %d->%d", a, b)
+		}
+		if ok1 && math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("distance mismatch %d->%d: %v vs %v", a, b, d1, d2)
+		}
+	}
+}
+
+func TestShortestPathWeightedCustomWeights(t *testing.T) {
+	// Two routes from 0 to 3: direct long segment vs two short ones.
+	var b Builder
+	n0 := b.AddNode(geo.Pt(0, 0))
+	n1 := b.AddNode(geo.Pt(100, 100))
+	n3 := b.AddNode(geo.Pt(200, 0))
+	direct, err := b.AddSegment(n0, n3, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := b.AddSegment(n0, n1, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := b.AddSegment(n1, n3, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By length the direct segment wins.
+	path, _, ok := net.ShortestPathWeighted(n0, n3, func(s *Segment) float64 { return s.Length })
+	if !ok || len(path) != 1 || path[0] != direct {
+		t.Fatalf("length-weight path = %v", path)
+	}
+	// Penalize the direct segment and the detour wins.
+	path, _, ok = net.ShortestPathWeighted(n0, n3, func(s *Segment) float64 {
+		if s.ID == direct {
+			return s.Length * 10
+		}
+		return s.Length
+	})
+	if !ok || len(path) != 2 || path[0] != up || path[1] != down {
+		t.Fatalf("penalized path = %v", path)
+	}
+	// Negative weight skips the edge entirely.
+	_, _, ok = net.ShortestPathWeighted(n0, n1, func(s *Segment) float64 { return -1 })
+	if ok {
+		t.Error("all-negative weights still found a path")
+	}
+	// Self route.
+	if p, d, ok := net.ShortestPathWeighted(n0, n0, func(s *Segment) float64 { return s.Length }); !ok || d != 0 || p != nil {
+		t.Errorf("self route = %v %v %v", p, d, ok)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	var b Builder
+	// Component A: 3 nodes in a line. Component B: 2 nodes.
+	a0 := b.AddNode(geo.Pt(0, 0))
+	a1 := b.AddNode(geo.Pt(100, 0))
+	a2 := b.AddNode(geo.Pt(200, 0))
+	b0 := b.AddNode(geo.Pt(9000, 9000))
+	b1 := b.AddNode(geo.Pt(9100, 9000))
+	for _, pair := range [][2]NodeID{{a0, a1}, {a1, a2}, {b0, b1}} {
+		if _, _, err := b.AddTwoWay(pair[0], pair[1], Local); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := n.LargestComponent()
+	if len(comp) != 3 {
+		t.Fatalf("LargestComponent size = %d, want 3", len(comp))
+	}
+	in := map[NodeID]bool{}
+	for _, id := range comp {
+		in[id] = true
+	}
+	if !in[a0] || !in[a1] || !in[a2] {
+		t.Errorf("LargestComponent = %v", comp)
+	}
+}

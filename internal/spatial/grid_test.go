@@ -1,0 +1,201 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func buildPointGrid(t *testing.T, pts []geo.Point, cell float64) *Grid {
+	t.Helper()
+	bounds := geo.Rect{Min: geo.Pt(-1000, -1000), Max: geo.Pt(1000, 1000)}
+	g := NewGrid(bounds, cell)
+	for _, p := range pts {
+		g.Insert(PointItem{p})
+	}
+	return g
+}
+
+func TestNewGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGrid with zero cell size did not panic")
+		}
+	}()
+	NewGrid(geo.Rect{}, 0)
+}
+
+func TestWithin(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(10, 0), geo.Pt(0, 50), geo.Pt(200, 200)}
+	g := buildPointGrid(t, pts, 25)
+	got := g.Within(geo.Pt(0, 0), 60)
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Within = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Within = %v, want %v (sorted by distance)", got, want)
+		}
+	}
+	if got := g.Within(geo.Pt(500, 500), 10); len(got) != 0 {
+		t.Errorf("empty Within = %v", got)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(5, 0), geo.Pt(100, 0), geo.Pt(-300, 0)}
+	g := buildPointGrid(t, pts, 25)
+	got := g.Nearest(geo.Pt(1, 0), 3)
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nearest = %v, want %v", got, want)
+		}
+	}
+	// k larger than item count returns all items.
+	if got := g.Nearest(geo.Pt(0, 0), 99); len(got) != 4 {
+		t.Errorf("Nearest(k=99) returned %d items, want 4", len(got))
+	}
+	if got := g.Nearest(geo.Pt(0, 0), 0); got != nil {
+		t.Errorf("Nearest(k=0) = %v, want nil", got)
+	}
+	if got := NewGrid(geo.RectAround(geo.Pt(0, 0), 10), 5).Nearest(geo.Pt(0, 0), 3); got != nil {
+		t.Errorf("Nearest on empty grid = %v, want nil", got)
+	}
+}
+
+// Property: Nearest agrees with brute force on random point sets.
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Pt(rng.Float64()*2000-1000, rng.Float64()*2000-1000)
+		}
+		g := buildPointGrid(t, pts, 50+rng.Float64()*200)
+		q := geo.Pt(rng.Float64()*2000-1000, rng.Float64()*2000-1000)
+		k := 1 + rng.Intn(10)
+
+		got := g.Nearest(q, k)
+
+		type hit struct {
+			id int
+			d  float64
+		}
+		brute := make([]hit, n)
+		for i, p := range pts {
+			brute[i] = hit{i, p.Dist(q)}
+		}
+		sort.Slice(brute, func(i, j int) bool { return brute[i].d < brute[j].d })
+		wantK := k
+		if wantK > n {
+			wantK = n
+		}
+		if len(got) != wantK {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), wantK)
+		}
+		for i := 0; i < wantK; i++ {
+			// Compare by distance (ids may tie).
+			gd := pts[got[i]].Dist(q)
+			if math.Abs(gd-brute[i].d) > 1e-9 {
+				t.Fatalf("trial %d: rank %d distance %v, brute force %v", trial, i, gd, brute[i].d)
+			}
+		}
+	}
+}
+
+// Property: Within agrees with brute force.
+func TestWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(150)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Pt(rng.Float64()*2000-1000, rng.Float64()*2000-1000)
+		}
+		g := buildPointGrid(t, pts, 30+rng.Float64()*300)
+		q := geo.Pt(rng.Float64()*2000-1000, rng.Float64()*2000-1000)
+		radius := rng.Float64() * 500
+
+		got := g.Within(q, radius)
+		want := map[int]bool{}
+		for i, p := range pts {
+			if p.Dist(q) <= radius {
+				want[i] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: Within found %d, brute force %d", trial, len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("trial %d: Within returned %d which is outside radius", trial, id)
+			}
+		}
+		for i := 1; i < len(got); i++ {
+			if pts[got[i-1]].Dist(q) > pts[got[i]].Dist(q)+1e-12 {
+				t.Fatalf("trial %d: Within results not distance-sorted", trial)
+			}
+		}
+	}
+}
+
+func TestSegmentItems(t *testing.T) {
+	bounds := geo.RectAround(geo.Pt(0, 0), 500)
+	g := NewGrid(bounds, 50)
+	// A long horizontal segment spanning many cells.
+	id := g.Insert(SegmentItem{geo.Segment{A: geo.Pt(-400, 0), B: geo.Pt(400, 0)}})
+	g.Insert(SegmentItem{geo.Segment{A: geo.Pt(0, 300), B: geo.Pt(10, 300)}})
+
+	// The long segment must be found when querying near its middle,
+	// even though its endpoints are far away.
+	got := g.Within(geo.Pt(3, 20), 25)
+	if len(got) != 1 || got[0] != id {
+		t.Fatalf("Within near segment middle = %v, want [%d]", got, id)
+	}
+	near := g.Nearest(geo.Pt(0, 100), 1)
+	if len(near) != 1 || near[0] != id {
+		t.Fatalf("Nearest = %v, want [%d]", near, id)
+	}
+}
+
+func TestInRect(t *testing.T) {
+	bounds := geo.RectAround(geo.Pt(0, 0), 500)
+	g := NewGrid(bounds, 50)
+	a := g.Insert(SegmentItem{geo.Segment{A: geo.Pt(0, 0), B: geo.Pt(100, 0)}})
+	b := g.Insert(PointItem{geo.Pt(200, 200)})
+	g.Insert(PointItem{geo.Pt(-400, -400)})
+
+	got := g.InRect(geo.Rect{Min: geo.Pt(-10, -10), Max: geo.Pt(250, 250)})
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("InRect = %v, want [%d %d]", got, a, b)
+	}
+}
+
+func TestInsertOutsideBoundsStillFindable(t *testing.T) {
+	g := NewGrid(geo.RectAround(geo.Pt(0, 0), 100), 25)
+	id := g.Insert(PointItem{geo.Pt(5000, 5000)}) // far outside
+	got := g.Nearest(geo.Pt(4000, 4000), 1)
+	if len(got) != 1 || got[0] != id {
+		t.Fatalf("out-of-bounds item not found: %v", got)
+	}
+}
+
+func TestItemAccessors(t *testing.T) {
+	g := NewGrid(geo.RectAround(geo.Pt(0, 0), 100), 25)
+	if g.Len() != 0 {
+		t.Errorf("empty Len = %d", g.Len())
+	}
+	id := g.Insert(PointItem{geo.Pt(1, 2)})
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+	if it, ok := g.Item(id).(PointItem); !ok || it.P != geo.Pt(1, 2) {
+		t.Errorf("Item = %v", g.Item(id))
+	}
+}

@@ -1,0 +1,205 @@
+// Package synth generates the synthetic cities and paired
+// cellular-plus-GPS trip datasets that stand in for the paper's
+// proprietary Hangzhou and Xiamen operator data (see DESIGN.md §2).
+//
+// A city is a jittered street lattice whose density decays away from
+// the center (streets are removed with rising probability toward the
+// outskirts), with arterial lines and a highway ring; cell towers are
+// placed with the same urban-core density gradient. Trips are sampled
+// journeys routed with per-trip perturbed weights, driven along the
+// path with a congestion-noised speed model, and observed by both a GPS
+// sampler (low noise) and a cellular serving-tower simulator (0.1–3 km
+// error). All generation is deterministic given the config seed.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cellular"
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// CityConfig parameterizes the synthetic city generator.
+type CityConfig struct {
+	Name string
+	// HalfSize is half the city square's side, meters: the city spans
+	// [-HalfSize, HalfSize]² centered on the origin.
+	HalfSize float64
+	// BlockSize is the street lattice spacing in meters.
+	BlockSize float64
+	// CoreRadius is the dense urban core radius in meters; street and
+	// tower density decay beyond it.
+	CoreRadius float64
+	// NodeJitter is positional noise applied to lattice nodes, meters.
+	NodeJitter float64
+	// EdgeDropCore is the probability of removing a street inside the
+	// core; EdgeDropRural is the probability at the city edge. The
+	// probability interpolates linearly in between.
+	EdgeDropCore  float64
+	EdgeDropRural float64
+	// ArterialEvery promotes every k-th lattice row/column to an
+	// arterial (0 disables).
+	ArterialEvery int
+	// RingRoad adds a highway ring at roughly 0.7×HalfSize.
+	RingRoad bool
+	// TowerCount is the number of cell towers to place.
+	TowerCount int
+	// TowerCoreRadius is the dense-core radius of the tower placement
+	// model; defaults to CoreRadius.
+	TowerCoreRadius float64
+}
+
+// City is a generated road network plus tower infrastructure.
+type City struct {
+	Net    *roadnet.Network
+	Cells  *cellular.Net
+	Center geo.Point
+	// Routable holds the node ids of the largest connected component;
+	// trip endpoints are drawn from it.
+	Routable []roadnet.NodeID
+}
+
+// GenerateCity builds the synthetic city. Deterministic given rng.
+func GenerateCity(cfg CityConfig, rng *rand.Rand) (*City, error) {
+	if cfg.HalfSize <= 0 || cfg.BlockSize <= 0 {
+		return nil, fmt.Errorf("synth: HalfSize and BlockSize must be positive")
+	}
+	if cfg.TowerCount <= 0 {
+		return nil, fmt.Errorf("synth: TowerCount must be positive")
+	}
+	core := cfg.CoreRadius
+	if core <= 0 {
+		core = cfg.HalfSize / 2
+	}
+
+	var b roadnet.Builder
+	// Lattice nodes with jitter. Node (i,j) of an n×n lattice.
+	n := int(2*cfg.HalfSize/cfg.BlockSize) + 1
+	ids := make([][]roadnet.NodeID, n)
+	for j := 0; j < n; j++ {
+		ids[j] = make([]roadnet.NodeID, n)
+		for i := 0; i < n; i++ {
+			x := -cfg.HalfSize + float64(i)*cfg.BlockSize
+			y := -cfg.HalfSize + float64(j)*cfg.BlockSize
+			p := geo.Pt(
+				x+rng.NormFloat64()*cfg.NodeJitter,
+				y+rng.NormFloat64()*cfg.NodeJitter,
+			)
+			ids[j][i] = b.AddNode(p)
+		}
+	}
+
+	dropProb := func(p geo.Point) float64 {
+		r := p.Dist(geo.Point{})
+		t := math.Max(0, math.Min(1, (r-core)/(cfg.HalfSize*math.Sqrt2-core)))
+		return cfg.EdgeDropCore + t*(cfg.EdgeDropRural-cfg.EdgeDropCore)
+	}
+	addStreet := func(j0, i0, j1, i1 int) error {
+		a, c := ids[j0][i0], ids[j1][i1]
+		mid := geo.Segment{A: latticePos(cfg, i0, j0), B: latticePos(cfg, i1, j1)}.Midpoint()
+		if rng.Float64() < dropProb(mid) {
+			return nil
+		}
+		// A street along lattice row j is arterial when j is an arterial
+		// line; along column i when i is.
+		class := roadnet.Local
+		if j0 == j1 && cfg.ArterialEvery > 0 && j0%cfg.ArterialEvery == 0 {
+			class = roadnet.Arterial
+		} else if i0 == i1 && cfg.ArterialEvery > 0 && i0%cfg.ArterialEvery == 0 {
+			class = roadnet.Arterial
+		}
+		_, _, err := b.AddTwoWay(a, c, class)
+		return err
+	}
+
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if i+1 < n {
+				if err := addStreet(j, i, j, i+1); err != nil {
+					return nil, err
+				}
+			}
+			if j+1 < n {
+				if err := addStreet(j, i, j+1, i); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Highway ring: connect the lattice nodes nearest to the ring circle
+	// at regular angles with highway-class two-way segments.
+	if cfg.RingRoad {
+		ringR := 0.7 * cfg.HalfSize
+		steps := 24
+		var ringNodes []roadnet.NodeID
+		for s := 0; s < steps; s++ {
+			ang := 2 * math.Pi * float64(s) / float64(steps)
+			target := geo.Pt(ringR*math.Cos(ang), ringR*math.Sin(ang))
+			// Nearest lattice node.
+			i := clampInt(int(math.Round((target.X+cfg.HalfSize)/cfg.BlockSize)), 0, n-1)
+			j := clampInt(int(math.Round((target.Y+cfg.HalfSize)/cfg.BlockSize)), 0, n-1)
+			ringNodes = append(ringNodes, ids[j][i])
+		}
+		for s := 0; s < steps; s++ {
+			a, c := ringNodes[s], ringNodes[(s+1)%steps]
+			if a == c {
+				continue
+			}
+			if _, _, err := b.AddTwoWay(a, c, roadnet.Highway); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	net, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+
+	towerCore := cfg.TowerCoreRadius
+	if towerCore <= 0 {
+		towerCore = core
+	}
+	towers := cellular.Place(cellular.PlacementConfig{
+		Bounds:     geo.RectAround(geo.Point{}, cfg.HalfSize),
+		Center:     geo.Point{},
+		Count:      cfg.TowerCount,
+		CoreRadius: towerCore,
+		Jitter:     cfg.BlockSize / 10,
+	}, rng)
+	cells, err := cellular.NewNet(towers)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+
+	return &City{
+		Net:      net,
+		Cells:    cells,
+		Center:   geo.Point{},
+		Routable: net.LargestComponent(),
+	}, nil
+}
+
+// latticePos returns the unjittered lattice position of node (i,j);
+// used only for density decisions so jitter does not bias street
+// removal.
+func latticePos(cfg CityConfig, i, j int) geo.Point {
+	return geo.Pt(
+		-cfg.HalfSize+float64(i)*cfg.BlockSize,
+		-cfg.HalfSize+float64(j)*cfg.BlockSize,
+	)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,163 @@
+package traj
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// FilterConfig parameterizes the preprocessing filter chain the paper
+// applies to cellular trajectories before matching (§V-A1, following
+// SnapNet [12]).
+type FilterConfig struct {
+	// MaxSpeed is the speed filter threshold in m/s: a point implying a
+	// faster movement from the last kept point is dropped. Default 42
+	// (~150 km/h).
+	MaxSpeed float64
+	// MeanWindow is the α-trimmed mean filter window size (number of
+	// points, odd). Default 5.
+	MeanWindow int
+	// TrimAlpha is the fraction trimmed from each end of the window
+	// before averaging, in [0, 0.5). Default 0.2.
+	TrimAlpha float64
+	// DirectionMinAngle is the direction filter threshold in radians: a
+	// point whose incoming and outgoing headings differ by more than
+	// this (a ping-pong handover artifact) is dropped. Default 2.62
+	// (150°).
+	DirectionMinAngle float64
+}
+
+// DefaultFilterConfig returns the configuration used by the dataset
+// presets.
+func DefaultFilterConfig() FilterConfig {
+	return FilterConfig{
+		MaxSpeed:          42,
+		MeanWindow:        5,
+		TrimAlpha:         0.2,
+		DirectionMinAngle: 150 * math.Pi / 180,
+	}
+}
+
+// Preprocess applies the full filter chain — speed filter, α-trimmed
+// mean filter, direction filter — returning a new trajectory. The input
+// is not modified. Tower identities are preserved; only position
+// estimates are smoothed.
+func Preprocess(ct CellTrajectory, cfg FilterConfig) CellTrajectory {
+	out := SpeedFilter(ct, cfg.MaxSpeed)
+	out = AlphaTrimmedMeanFilter(out, cfg.MeanWindow, cfg.TrimAlpha)
+	out = DirectionFilter(out, cfg.DirectionMinAngle)
+	return out
+}
+
+// SpeedFilter drops points that imply movement faster than maxSpeed
+// (m/s) from the previously kept point. The first point is always kept.
+// Non-positive maxSpeed disables the filter.
+func SpeedFilter(ct CellTrajectory, maxSpeed float64) CellTrajectory {
+	if len(ct) == 0 {
+		return nil
+	}
+	if maxSpeed <= 0 {
+		return append(CellTrajectory(nil), ct...)
+	}
+	out := CellTrajectory{ct[0]}
+	for _, p := range ct[1:] {
+		last := out[len(out)-1]
+		dt := p.T - last.T
+		if dt <= 0 {
+			continue // duplicate or out-of-order timestamp
+		}
+		if last.P.Dist(p.P)/dt <= maxSpeed {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AlphaTrimmedMeanFilter smooths point positions with an α-trimmed mean
+// over a sliding window: for each point, the window's x and y
+// coordinates are sorted, the extreme alpha fraction is trimmed from
+// each end, and the rest averaged. Window sizes below 3 or an empty
+// trajectory return an unmodified copy. Even windows are widened by one.
+func AlphaTrimmedMeanFilter(ct CellTrajectory, window int, alpha float64) CellTrajectory {
+	out := append(CellTrajectory(nil), ct...)
+	if len(ct) == 0 || window < 3 {
+		return out
+	}
+	if window%2 == 0 {
+		window++
+	}
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha >= 0.5 {
+		alpha = 0.49
+	}
+	half := window / 2
+	for i := range ct {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(ct)-1 {
+			hi = len(ct) - 1
+		}
+		n := hi - lo + 1
+		if n < 3 {
+			continue
+		}
+		xs := make([]float64, 0, n)
+		ys := make([]float64, 0, n)
+		for j := lo; j <= hi; j++ {
+			xs = append(xs, ct[j].P.X)
+			ys = append(ys, ct[j].P.Y)
+		}
+		out[i].P = geo.Pt(trimmedMean(xs, alpha), trimmedMean(ys, alpha))
+	}
+	return out
+}
+
+// trimmedMean sorts xs and averages after removing the alpha fraction
+// from each end (at least keeping one element).
+func trimmedMean(xs []float64, alpha float64) float64 {
+	sort.Float64s(xs)
+	trim := int(alpha * float64(len(xs)))
+	lo, hi := trim, len(xs)-trim
+	if hi <= lo {
+		lo, hi = len(xs)/2, len(xs)/2+1
+	}
+	var sum float64
+	for _, x := range xs[lo:hi] {
+		sum += x
+	}
+	return sum / float64(hi-lo)
+}
+
+// DirectionFilter removes ping-pong handover artifacts: an interior
+// point whose incoming and outgoing headings differ by more than
+// minAngle (i.e. the track doubles back on itself at that point) is
+// dropped. Endpoints are always kept. Non-positive minAngle disables
+// the filter.
+func DirectionFilter(ct CellTrajectory, minAngle float64) CellTrajectory {
+	if len(ct) == 0 {
+		return nil
+	}
+	if minAngle <= 0 || len(ct) < 3 {
+		return append(CellTrajectory(nil), ct...)
+	}
+	out := CellTrajectory{ct[0]}
+	for i := 1; i < len(ct)-1; i++ {
+		prev := out[len(out)-1]
+		cur, next := ct[i], ct[i+1]
+		if prev.P == cur.P || cur.P == next.P {
+			out = append(out, cur)
+			continue
+		}
+		turn := geo.TurnAngle(prev.P, cur.P, next.P)
+		if turn <= minAngle {
+			out = append(out, cur)
+		}
+	}
+	out = append(out, ct[len(ct)-1])
+	return out
+}

@@ -1,0 +1,30 @@
+package traj
+
+import (
+	"testing"
+
+	"repro/internal/cellular"
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// datasetWithTinyNet builds a minimal valid Dataset (one street, one
+// tower, no trips) for tests that need the container shape only.
+func datasetWithTinyNet(t *testing.T) *Dataset {
+	t.Helper()
+	var b roadnet.Builder
+	a := b.AddNode(geo.Pt(0, 0))
+	c := b.AddNode(geo.Pt(100, 0))
+	if _, err := b.AddSegment(a, c, roadnet.Local); err != nil {
+		t.Fatal(err)
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := cellular.NewNet([]geo.Point{geo.Pt(50, 50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Dataset{Name: "tiny", Net: net, Cells: cells}
+}

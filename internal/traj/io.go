@@ -1,0 +1,147 @@
+package traj
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cellular"
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// datasetFile is the on-disk JSON schema for a full dataset.
+type datasetFile struct {
+	Name    string          `json:"name"`
+	Center  []float64       `json:"center"`
+	Network json.RawMessage `json:"network"`
+	Towers  [][]float64     `json:"towers"`
+	Trips   []tripFile      `json:"trips"`
+	Train   []int           `json:"train"`
+	Valid   []int           `json:"valid"`
+	Test    []int           `json:"test"`
+}
+
+type tripFile struct {
+	Path []int       `json:"path"`
+	GPS  [][]float64 `json:"gps"`  // [x, y, t]
+	Cell [][]float64 `json:"cell"` // [tower, x, y, t]
+}
+
+// WriteDataset serializes a dataset (network, towers, trips, splits)
+// as a single JSON document.
+func WriteDataset(w io.Writer, d *Dataset) error {
+	var netBuf bytes.Buffer
+	if err := roadnet.Write(&netBuf, d.Net); err != nil {
+		return fmt.Errorf("traj: write dataset: %w", err)
+	}
+	f := datasetFile{
+		Name:    d.Name,
+		Center:  []float64{d.Center.X, d.Center.Y},
+		Network: json.RawMessage(netBuf.Bytes()),
+		Train:   d.Train,
+		Valid:   d.Valid,
+		Test:    d.Test,
+	}
+	for i := 0; i < d.Cells.NumTowers(); i++ {
+		p := d.Cells.Tower(cellular.TowerID(i)).P
+		f.Towers = append(f.Towers, []float64{p.X, p.Y})
+	}
+	for i := range d.Trips {
+		tr := &d.Trips[i]
+		tf := tripFile{Path: make([]int, len(tr.Path))}
+		for j, s := range tr.Path {
+			tf.Path[j] = int(s)
+		}
+		for _, g := range tr.GPS {
+			tf.GPS = append(tf.GPS, []float64{g.P.X, g.P.Y, g.T})
+		}
+		for _, c := range tr.Cell {
+			tf.Cell = append(tf.Cell, []float64{float64(c.Tower), c.P.X, c.P.Y, c.T})
+		}
+		f.Trips = append(f.Trips, tf)
+	}
+	if err := json.NewEncoder(w).Encode(f); err != nil {
+		return fmt.Errorf("traj: write dataset: %w", err)
+	}
+	return nil
+}
+
+// ReadDataset restores a dataset written by WriteDataset, rebuilding
+// indices and path geometry.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	var f datasetFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("traj: read dataset: %w", err)
+	}
+	net, err := roadnet.Read(bytes.NewReader(f.Network))
+	if err != nil {
+		return nil, fmt.Errorf("traj: read dataset: %w", err)
+	}
+	towers := make([]geo.Point, len(f.Towers))
+	for i, t := range f.Towers {
+		if len(t) != 2 {
+			return nil, fmt.Errorf("traj: read dataset: tower %d has %d coords", i, len(t))
+		}
+		towers[i] = geo.Pt(t[0], t[1])
+	}
+	cells, err := cellular.NewNet(towers)
+	if err != nil {
+		return nil, fmt.Errorf("traj: read dataset: %w", err)
+	}
+	d := &Dataset{
+		Name:  f.Name,
+		Net:   net,
+		Cells: cells,
+		Train: f.Train,
+		Valid: f.Valid,
+		Test:  f.Test,
+	}
+	if len(f.Center) == 2 {
+		d.Center = geo.Pt(f.Center[0], f.Center[1])
+	}
+	for i, tf := range f.Trips {
+		tr := Trip{ID: i}
+		for _, s := range tf.Path {
+			if s < 0 || s >= net.NumSegments() {
+				return nil, fmt.Errorf("traj: read dataset: trip %d references segment %d", i, s)
+			}
+			tr.Path = append(tr.Path, roadnet.SegmentID(s))
+		}
+		tr.PathGeom = pathGeometry(net, tr.Path)
+		for _, g := range tf.GPS {
+			if len(g) != 3 {
+				return nil, fmt.Errorf("traj: read dataset: trip %d malformed gps point", i)
+			}
+			tr.GPS = append(tr.GPS, GPSPoint{P: geo.Pt(g[0], g[1]), T: g[2]})
+		}
+		for _, c := range tf.Cell {
+			if len(c) != 4 {
+				return nil, fmt.Errorf("traj: read dataset: trip %d malformed cell point", i)
+			}
+			tw := cellular.TowerID(int(c[0]))
+			if int(tw) < 0 || int(tw) >= cells.NumTowers() {
+				return nil, fmt.Errorf("traj: read dataset: trip %d references tower %d", i, tw)
+			}
+			tr.Cell = append(tr.Cell, CellPoint{Tower: tw, P: geo.Pt(c[1], c[2]), T: c[3]})
+		}
+		d.Trips = append(d.Trips, tr)
+	}
+	return d, nil
+}
+
+// pathGeometry concatenates segment shapes (duplicated from metrics to
+// avoid an import cycle; both are thin wrappers over Segment.Shape).
+func pathGeometry(net *roadnet.Network, path []roadnet.SegmentID) geo.Polyline {
+	var pl geo.Polyline
+	for i, sid := range path {
+		shape := net.Segment(sid).Shape
+		if i == 0 {
+			pl = append(pl, shape...)
+		} else {
+			pl = append(pl, shape[1:]...)
+		}
+	}
+	return pl
+}

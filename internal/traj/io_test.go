@@ -1,0 +1,120 @@
+package traj
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cellular"
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+func sampleDataset(t *testing.T) *Dataset {
+	t.Helper()
+	var b roadnet.Builder
+	n0 := b.AddNode(geo.Pt(0, 0))
+	n1 := b.AddNode(geo.Pt(100, 0))
+	n2 := b.AddNode(geo.Pt(200, 0))
+	s0, err := b.AddSegment(n0, n1, roadnet.Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := b.AddSegment(n1, n2, roadnet.Arterial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := cellular.NewNet([]geo.Point{geo.Pt(50, 60), geo.Pt(160, -40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Dataset{
+		Name:   "io-test",
+		Net:    net,
+		Cells:  cells,
+		Center: geo.Pt(10, 20),
+		Trips: []Trip{{
+			ID:   0,
+			Path: []roadnet.SegmentID{s0, s1},
+			GPS: []GPSPoint{
+				{P: geo.Pt(10, 1), T: 0},
+				{P: geo.Pt(150, -2), T: 30},
+			},
+			Cell: CellTrajectory{
+				{Tower: 0, P: geo.Pt(50, 60), T: 0},
+				{Tower: 1, P: geo.Pt(160, -40), T: 45},
+			},
+		}},
+	}
+	d.Trips[0].PathGeom = pathGeometry(net, d.Trips[0].Path)
+	d.Split(0.5, 0)
+	return d
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	d := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadDataset(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name != d.Name || d2.Center != d.Center {
+		t.Errorf("metadata mismatch: %q %v", d2.Name, d2.Center)
+	}
+	if d2.Net.NumSegments() != d.Net.NumSegments() || d2.Cells.NumTowers() != 2 {
+		t.Errorf("network sizes differ")
+	}
+	if len(d2.Trips) != 1 {
+		t.Fatalf("trips = %d", len(d2.Trips))
+	}
+	tr, tr2 := &d.Trips[0], &d2.Trips[0]
+	if len(tr2.Path) != len(tr.Path) || tr2.Path[0] != tr.Path[0] {
+		t.Errorf("path mismatch: %v", tr2.Path)
+	}
+	if len(tr2.GPS) != 2 || tr2.GPS[1].P != tr.GPS[1].P || tr2.GPS[1].T != 30 {
+		t.Errorf("gps mismatch: %+v", tr2.GPS)
+	}
+	if len(tr2.Cell) != 2 || tr2.Cell[1].Tower != 1 || tr2.Cell[1].T != 45 {
+		t.Errorf("cell mismatch: %+v", tr2.Cell)
+	}
+	if tr2.PathGeom.Length() != tr.PathGeom.Length() {
+		t.Errorf("geometry length mismatch")
+	}
+	if len(d2.Train) != len(d.Train) || len(d2.Test) != len(d.Test) {
+		t.Errorf("splits mismatch")
+	}
+}
+
+func TestReadDatasetValidation(t *testing.T) {
+	if _, err := ReadDataset(strings.NewReader("{bad")); err == nil {
+		t.Error("bad JSON did not error")
+	}
+	d := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a segment reference.
+	s := strings.Replace(buf.String(), `"path":[0,1]`, `"path":[0,99]`, 1)
+	if s == buf.String() {
+		t.Fatal("test setup: path not found in JSON")
+	}
+	if _, err := ReadDataset(strings.NewReader(s)); err == nil {
+		t.Error("out-of-range segment did not error")
+	}
+	// Corrupt a tower reference.
+	s = strings.Replace(buf.String(), `[1,160,-40,45]`, `[9,160,-40,45]`, 1)
+	if s == buf.String() {
+		t.Fatal("test setup: cell point not found in JSON")
+	}
+	if _, err := ReadDataset(strings.NewReader(s)); err == nil {
+		t.Error("out-of-range tower did not error")
+	}
+}

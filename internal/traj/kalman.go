@@ -1,0 +1,89 @@
+package traj
+
+import "repro/internal/geo"
+
+// KalmanConfig parameterizes the constant-velocity Kalman smoother, an
+// optional alternative to the α-trimmed mean filter (Kalman filtering
+// is one of the classical map-matching aids the paper's related work
+// surveys [29]).
+type KalmanConfig struct {
+	// ProcessNoise is the acceleration noise standard deviation in
+	// m/s². Default 2.
+	ProcessNoise float64
+	// MeasurementNoise is the positioning noise standard deviation in
+	// meters. For cellular data use hundreds of meters. Default 400.
+	MeasurementNoise float64
+}
+
+// DefaultKalmanConfig returns cellular-scale smoothing parameters.
+func DefaultKalmanConfig() KalmanConfig {
+	return KalmanConfig{ProcessNoise: 2, MeasurementNoise: 400}
+}
+
+// kalman1D tracks one axis with a constant-velocity model: state
+// [position, velocity], scalar position measurements.
+type kalman1D struct {
+	x, v          float64 // state
+	pxx, pxv, pvv float64 // covariance
+	initialized   bool
+	q, r          float64 // process/measurement variances
+}
+
+func (k *kalman1D) step(z, dt float64) float64 {
+	if !k.initialized {
+		k.x, k.v = z, 0
+		k.pxx, k.pxv, k.pvv = k.r, 0, 100
+		k.initialized = true
+		return k.x
+	}
+	if dt <= 0 {
+		dt = 1e-3
+	}
+	// Predict.
+	k.x += k.v * dt
+	q := k.q
+	// Covariance of the constant-velocity model under acceleration
+	// noise q: Q = q²·[[dt⁴/4, dt³/2], [dt³/2, dt²]].
+	pxx := k.pxx + 2*dt*k.pxv + dt*dt*k.pvv + q*q*dt*dt*dt*dt/4
+	pxv := k.pxv + dt*k.pvv + q*q*dt*dt*dt/2
+	pvv := k.pvv + q*q*dt*dt
+	// Update with measurement z.
+	s := pxx + k.r
+	kx := pxx / s
+	kv := pxv / s
+	innov := z - k.x
+	k.x += kx * innov
+	k.v += kv * innov
+	k.pxx = (1 - kx) * pxx
+	k.pxv = (1 - kx) * pxv
+	k.pvv = pvv - kv*pxv
+	return k.x
+}
+
+// KalmanFilter smooths point positions with independent
+// constant-velocity filters per axis, preserving tower identities and
+// timestamps. It returns a new trajectory.
+func KalmanFilter(ct CellTrajectory, cfg KalmanConfig) CellTrajectory {
+	if len(ct) == 0 {
+		return nil
+	}
+	q := cfg.ProcessNoise
+	if q <= 0 {
+		q = 2
+	}
+	r := cfg.MeasurementNoise
+	if r <= 0 {
+		r = 400
+	}
+	fx := &kalman1D{q: q, r: r * r}
+	fy := &kalman1D{q: q, r: r * r}
+	out := make(CellTrajectory, len(ct))
+	lastT := ct[0].T
+	for i, p := range ct {
+		dt := p.T - lastT
+		lastT = p.T
+		out[i] = p
+		out[i].P = geo.Pt(fx.step(p.P.X, dt), fy.step(p.P.Y, dt))
+	}
+	return out
+}

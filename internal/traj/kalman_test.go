@@ -1,0 +1,94 @@
+package traj
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestKalmanFilterReducesNoise(t *testing.T) {
+	// A phone moving east at 10 m/s sampled every 30 s with 300 m
+	// noise: the smoother must reduce the mean position error.
+	rng := rand.New(rand.NewSource(3))
+	var raw CellTrajectory
+	var truth []geo.Point
+	for i := 0; i < 40; i++ {
+		tm := float64(i) * 30
+		p := geo.Pt(10*tm, 0)
+		truth = append(truth, p)
+		raw = append(raw, CellPoint{
+			Tower: -1,
+			P:     p.Add(geo.Pt(rng.NormFloat64()*300, rng.NormFloat64()*300)),
+			T:     tm,
+		})
+	}
+	smoothed := KalmanFilter(raw, KalmanConfig{ProcessNoise: 1, MeasurementNoise: 300})
+	var rawErr, smErr float64
+	// Skip the warm-up points where the filter is still acquiring the
+	// velocity estimate.
+	for i := 5; i < len(raw); i++ {
+		rawErr += raw[i].P.Dist(truth[i])
+		smErr += smoothed[i].P.Dist(truth[i])
+	}
+	if smErr >= rawErr {
+		t.Errorf("Kalman did not reduce error: %.0f vs %.0f", smErr, rawErr)
+	}
+	// Identity and timestamps preserved.
+	for i := range smoothed {
+		if smoothed[i].Tower != raw[i].Tower || smoothed[i].T != raw[i].T {
+			t.Fatal("Kalman modified identity or timestamps")
+		}
+	}
+}
+
+func TestKalmanFilterEdgeCases(t *testing.T) {
+	if out := KalmanFilter(nil, DefaultKalmanConfig()); out != nil {
+		t.Errorf("nil input = %v", out)
+	}
+	// Single point passes through at the measurement.
+	one := CellTrajectory{{P: geo.Pt(5, 7), T: 0}}
+	out := KalmanFilter(one, DefaultKalmanConfig())
+	if len(out) != 1 || out[0].P != geo.Pt(5, 7) {
+		t.Errorf("single point = %v", out)
+	}
+	// Duplicate timestamps do not divide by zero.
+	dup := CellTrajectory{
+		{P: geo.Pt(0, 0), T: 10},
+		{P: geo.Pt(100, 0), T: 10},
+		{P: geo.Pt(200, 0), T: 10},
+	}
+	out = KalmanFilter(dup, DefaultKalmanConfig())
+	for _, p := range out {
+		if math.IsNaN(p.P.X) || math.IsInf(p.P.X, 0) {
+			t.Fatal("NaN/Inf from duplicate timestamps")
+		}
+	}
+	// Zero-value config falls back to defaults.
+	out = KalmanFilter(dup, KalmanConfig{})
+	if len(out) != 3 {
+		t.Errorf("default config output = %d points", len(out))
+	}
+}
+
+func TestKalmanStationary(t *testing.T) {
+	// A stationary phone: the smoothed track must converge toward the
+	// true position as evidence accumulates.
+	rng := rand.New(rand.NewSource(4))
+	truth := geo.Pt(1000, -500)
+	var raw CellTrajectory
+	for i := 0; i < 60; i++ {
+		raw = append(raw, CellPoint{
+			P: truth.Add(geo.Pt(rng.NormFloat64()*250, rng.NormFloat64()*250)),
+			T: float64(i) * 30,
+		})
+	}
+	// Low process noise: the constant-velocity model must be told the
+	// target barely accelerates for the evidence to accumulate.
+	out := KalmanFilter(raw, KalmanConfig{ProcessNoise: 0.05, MeasurementNoise: 250})
+	lastErr := out[len(out)-1].P.Dist(truth)
+	if lastErr > 150 {
+		t.Errorf("stationary estimate error %.0f m after 60 samples", lastErr)
+	}
+}

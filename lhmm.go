@@ -1,0 +1,242 @@
+// Package lhmm is a production-quality Go reproduction of "LHMM: A
+// Learning Enhanced HMM Model for Cellular Trajectory Map Matching"
+// (Shi et al., ICDE 2023).
+//
+// The library map-matches cellular trajectories — sequences of cell
+// tower observations with positioning errors of 0.1–3 km — onto a road
+// network, by fusing learned observation and transition probabilities
+// into a Hidden Markov Model path-finder with shortcut-augmented
+// Viterbi decoding.
+//
+// # Quick start
+//
+//	cfg := lhmm.SyntheticXiamen(0.05, 200)       // or your own dataset
+//	ds, err := lhmm.GenerateDataset(cfg)
+//	model, err := lhmm.Train(ds, lhmm.DefaultConfig())
+//	result, err := model.Match(ds.TestTrips()[0].Cell)
+//	// result.Path is the matched road-segment sequence.
+//
+// The package is a facade over the implementation packages:
+// internal/core (the LHMM model), internal/hmm (the HMM backbone),
+// internal/mrg (multi-relational representation learning),
+// internal/baselines (the paper's ten comparison methods),
+// internal/synth (the synthetic city and trip simulator standing in
+// for the paper's proprietary operator datasets), internal/metrics and
+// internal/eval (the evaluation harness regenerating every table and
+// figure). See DESIGN.md for the system inventory.
+package lhmm
+
+import (
+	"math/rand"
+
+	"repro/internal/baselines"
+	"repro/internal/cellular"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/geo"
+	"repro/internal/hmm"
+	"repro/internal/metrics"
+	"repro/internal/roadnet"
+	"repro/internal/synth"
+	"repro/internal/traj"
+)
+
+// Core data types.
+type (
+	// Point is a planar coordinate in meters.
+	Point = geo.Point
+	// Polyline is an ordered point sequence.
+	Polyline = geo.Polyline
+	// CellPoint is one cellular positioning observation.
+	CellPoint = traj.CellPoint
+	// CellTrajectory is a cellular sampling sequence (Definition 2).
+	CellTrajectory = traj.CellTrajectory
+	// GPSPoint is one GPS observation.
+	GPSPoint = traj.GPSPoint
+	// Trip is a journey with ground truth and both sampling modalities.
+	Trip = traj.Trip
+	// Dataset bundles networks and trips with train/valid/test splits.
+	Dataset = traj.Dataset
+	// Network is a directed road network (Definition 3).
+	Network = roadnet.Network
+	// NetworkBuilder accumulates nodes and segments into a Network.
+	NetworkBuilder = roadnet.Builder
+	// SegmentID identifies a directed road segment.
+	SegmentID = roadnet.SegmentID
+	// NodeID identifies a road-network node.
+	NodeID = roadnet.NodeID
+	// Router answers shortest-path queries with memoization.
+	Router = roadnet.Router
+	// TowerID identifies a cell tower.
+	TowerID = cellular.TowerID
+	// CellNet is a set of cell towers with spatial indexing.
+	CellNet = cellular.Net
+)
+
+// Model types.
+type (
+	// Config parameterizes LHMM training and inference.
+	Config = core.Config
+	// Model is a trained LHMM.
+	Model = core.Model
+	// MatchResult is the outcome of matching one trajectory.
+	MatchResult = hmm.Result
+	// Candidate is one candidate road for one trajectory point.
+	Candidate = hmm.Candidate
+)
+
+// Evaluation types.
+type (
+	// PathMetrics are per-trip accuracy measures (precision, recall,
+	// RMF, CMF).
+	PathMetrics = metrics.PathMetrics
+	// Summary aggregates metrics over an evaluation run.
+	Summary = metrics.Summary
+	// Method is any map-matching algorithm under evaluation.
+	Method = baselines.Method
+	// Suite materializes one city's experiments (datasets + trained
+	// models) lazily.
+	Suite = eval.Suite
+	// SuiteConfig sizes a Suite.
+	SuiteConfig = eval.SuiteConfig
+	// DatasetConfig drives the synthetic dataset generator.
+	DatasetConfig = synth.DatasetConfig
+	// CityConfig drives the synthetic road-network generator.
+	CityConfig = synth.CityConfig
+	// TripConfig drives trip simulation and sampling.
+	TripConfig = synth.TripConfig
+	// FilterConfig parameterizes the SnapNet preprocessing chain.
+	FilterConfig = traj.FilterConfig
+)
+
+// DefaultConfig returns the LHMM configuration used by the experiment
+// harness (embedding dim 32, q=2 encoder rounds, k=30 candidates, one
+// shortcut, Adam with the paper's §V-A2 hyper-parameters).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Train builds and trains an LHMM on the dataset's training split.
+func Train(ds *Dataset, cfg Config) (*Model, error) { return core.Train(ds, cfg) }
+
+// NewModel builds an untrained model (for loading saved weights).
+func NewModel(ds *Dataset, trainTrips []*Trip, cfg Config) (*Model, error) {
+	return core.New(ds, trainTrips, cfg)
+}
+
+// GenerateDataset builds a synthetic paired cellular+GPS dataset.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) {
+	return synth.GenerateDataset(cfg)
+}
+
+// SyntheticHangzhou returns a dataset config mirroring the paper's
+// Hangzhou dataset shape (Table I) at the given scale in (0, 1].
+func SyntheticHangzhou(scale float64, trips int) DatasetConfig {
+	return synth.SyntheticHangzhou(scale, trips)
+}
+
+// SyntheticXiamen returns a dataset config mirroring the paper's
+// Xiamen dataset shape (Table I).
+func SyntheticXiamen(scale float64, trips int) DatasetConfig {
+	return synth.SyntheticXiamen(scale, trips)
+}
+
+// Preprocess applies the paper's filter chain (speed, α-trimmed mean,
+// direction filters) to a cellular trajectory.
+func Preprocess(ct CellTrajectory, cfg FilterConfig) CellTrajectory {
+	return traj.Preprocess(ct, cfg)
+}
+
+// DefaultFilterConfig returns the preprocessing defaults (§V-A1).
+func DefaultFilterConfig() FilterConfig { return traj.DefaultFilterConfig() }
+
+// EvalPath compares a matched path against the ground truth with the
+// given CMF corridor radius in meters (the paper reports CMF50).
+func EvalPath(net *Network, matched, truth []SegmentID, corridor float64) PathMetrics {
+	return metrics.EvalPath(net, matched, truth, corridor)
+}
+
+// Evaluate runs a method over trips and aggregates the paper's metrics.
+func Evaluate(ds *Dataset, m Method, trips []*Trip, corridor float64) Summary {
+	s, _ := eval.EvaluateMethod(ds, m, trips, corridor)
+	return s
+}
+
+// AsMethod adapts a trained model to the evaluation Method interface.
+func AsMethod(name string, m *Model) Method { return eval.LHMMMethod(name, m) }
+
+// NewSuite creates a lazy experiment suite.
+func NewSuite(cfg SuiteConfig) *Suite { return eval.NewSuite(cfg) }
+
+// DefaultSuite sizes a suite for one of the dataset presets
+// ("hangzhou" or "xiamen").
+func DefaultSuite(preset string, scale float64, trips int) SuiteConfig {
+	return eval.DefaultSuite(preset, scale, trips)
+}
+
+// RunExperiment regenerates one of the paper's tables or figures by id
+// (table1..table3, fig7a..fig11) and returns the rendered text.
+func RunExperiment(id string, primary, secondary *Suite) (string, error) {
+	return eval.RunExperiment(id, primary, secondary)
+}
+
+// NewRouter builds a shortest-path router over a network.
+func NewRouter(net *Network, opts ...roadnet.RouterOption) *Router {
+	return roadnet.NewRouter(net, opts...)
+}
+
+// ClassicalMatcher builds the classical distance-probability HMM
+// matcher (Eqs. 2–3) — the non-learned reference point.
+func ClassicalMatcher(net *Network, router *Router, k int, sigma, beta float64) Method {
+	return baselines.NewHMMMethod("HMM", &hmm.Matcher{
+		Net:    net,
+		Router: router,
+		Obs:    &hmm.GaussianObservation{Net: net, Sigma: sigma},
+		Trans:  &hmm.ExponentialTransition{Router: router, Beta: beta},
+		Cfg:    hmm.Config{K: k},
+	})
+}
+
+// RandSource returns a deterministic rand.Rand for the given seed —
+// every generator in the library takes one of these, keeping all
+// synthetic data reproducible.
+func RandSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// StreamMatcher is the online fixed-lag matcher: push points as they
+// arrive and receive finalized matches Lag points behind real time.
+type StreamMatcher = hmm.StreamMatcher
+
+// NewClassicalStream builds a streaming matcher over the classical
+// distance-probability models with the given emission lag. For a
+// learned streaming matcher, wrap a trained Model's session via the
+// internal packages (streaming LHMM keeps per-trajectory context, so
+// it is constructed per trajectory).
+func NewClassicalStream(net *Network, router *Router, k, lag int, sigma, beta float64) *StreamMatcher {
+	return hmm.NewStreamMatcher(&hmm.Matcher{
+		Net:    net,
+		Router: router,
+		Obs:    &hmm.GaussianObservation{Net: net, Sigma: sigma},
+		Trans:  &hmm.ExponentialTransition{Router: router, Beta: beta},
+		Cfg:    hmm.Config{K: k},
+	}, lag)
+}
+
+// KalmanConfig parameterizes the optional constant-velocity Kalman
+// smoother.
+type KalmanConfig = traj.KalmanConfig
+
+// KalmanFilter smooths a cellular trajectory with a constant-velocity
+// Kalman filter — an alternative to the α-trimmed mean smoothing of
+// the default preprocessing chain.
+func KalmanFilter(ct CellTrajectory, cfg KalmanConfig) CellTrajectory {
+	return traj.KalmanFilter(ct, cfg)
+}
+
+// DiscreteFrechet computes the discrete Fréchet distance between two
+// polylines — an additional curve-similarity metric for comparing
+// matched paths with ground truth.
+func DiscreteFrechet(a, b Polyline) float64 { return metrics.DiscreteFrechet(a, b) }
+
+// NewGeometricMatcher builds the classical nearest-road geometric
+// matcher — the no-noise-model lower-bound reference.
+func NewGeometricMatcher(net *Network, router *Router) Method {
+	return baselines.NewGeometric(net, router)
+}
