@@ -4,14 +4,25 @@
 // Usage:
 //
 //	lhmm-bench -exp table2                 # one experiment
-//	lhmm-bench -exp all -scale 0.05        # the whole evaluation section
+//	lhmm-bench -exp all -scale 0.05       # the whole evaluation section
+//	lhmm-bench -exp table2 -json          # machine-readable results
 //
 // Experiments: table1 table2 table3 fig7a fig7b fig8 fig9 fig10a
 // fig10b fig11. Results print to stdout; -out duplicates them to a
-// file.
+// file. With -json, results are emitted as a single JSON document
+// (schema lhmm-bench/v1) carrying per-experiment wall-clock, the
+// rendered text, and the full observability snapshot (router cache hit
+// rate, shortcut activations, Viterbi breaks, latency histograms) so
+// successive runs can be diffed for perf trajectory — BENCH_*.json
+// files in the repo root are committed runs of this mode.
+//
+// Observability: -metrics dumps the telemetry snapshot on exit,
+// -log-level enables structured logs on stderr, and -debug-addr serves
+// /debug/pprof, /debug/vars, and /metrics while the bench runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,14 +32,60 @@ import (
 	lhmm "repro"
 	"repro/internal/eval"
 	"repro/internal/geo"
+	"repro/internal/obs"
 )
+
+// output is the -json document (schema lhmm-bench/v1).
+type output struct {
+	Schema      string       `json:"schema"`
+	Timestamp   string       `json:"timestamp"`
+	Scale       float64      `json:"scale"`
+	Trips       int          `json:"trips"`
+	Experiments []experiment `json:"experiments"`
+	// TotalWallS is end-to-end wall-clock including dataset generation
+	// and model training triggered lazily by the first experiment.
+	TotalWallS float64 `json:"total_wall_s"`
+	// Derived headline metrics, also recoverable from Obs.
+	RouterCacheHitRate  float64 `json:"router_cache_hit_rate"`
+	ShortcutActivations int64   `json:"shortcut_activations"`
+	ViterbiBreaks       int64   `json:"viterbi_breaks"`
+	// Obs is the full telemetry snapshot of the run.
+	Obs obs.Snapshot `json:"obs"`
+}
+
+// experiment is one experiment's result row.
+type experiment struct {
+	ID    string  `json:"id"`
+	WallS float64 `json:"wall_s"`
+	Text  string  `json:"text"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	scale := flag.Float64("scale", 0.04, "city scale in (0, 1]")
 	trips := flag.Int("trips", 220, "trips per dataset")
 	out := flag.String("out", "", "also write results to this file")
+	asJSON := flag.Bool("json", false, "emit one machine-readable JSON document instead of text")
+	of := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	cleanup, err := of.Apply()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lhmm-bench:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := cleanup(); err != nil {
+			fmt.Fprintln(os.Stderr, "lhmm-bench:", err)
+		}
+	}()
+
+	if *asJSON {
+		// JSON runs measure from a clean telemetry slate so committed
+		// BENCH_*.json files diff as true per-run deltas.
+		obs.Default.Enable()
+		obs.Default.Reset()
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -38,7 +95,11 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		w = io.MultiWriter(os.Stdout, f)
+		if *asJSON {
+			w = f // JSON goes to the file only; progress stays on stderr
+		} else {
+			w = io.MultiWriter(os.Stdout, f)
+		}
 	}
 
 	hz := lhmm.NewSuite(lhmm.DefaultSuite("hangzhou", *scale, *trips))
@@ -48,6 +109,8 @@ func main() {
 	if *exp == "all" {
 		ids = eval.ExperimentNames
 	}
+	runStart := time.Now()
+	var results []experiment
 	for _, id := range ids {
 		start := time.Now()
 		text, err := lhmm.RunExperiment(id, hz, xm)
@@ -55,13 +118,47 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lhmm-bench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(w, "== %s (%.1fs) ==\n%s\n", id, time.Since(start).Seconds(), text)
-		if id == "fig11" {
+		wall := time.Since(start).Seconds()
+		results = append(results, experiment{ID: id, WallS: wall, Text: text})
+		obs.Logger().Info("lhmm-bench: experiment done", "id", id, "wall_s", wall)
+		if !*asJSON {
+			fmt.Fprintf(w, "== %s (%.1fs) ==\n%s\n", id, wall, text)
+		} else {
+			fmt.Fprintf(os.Stderr, "lhmm-bench: %s done in %.1fs\n", id, wall)
+		}
+		if id == "fig11" && !*asJSON {
 			if err := writeFig11Artifacts(hz); err != nil {
 				fmt.Fprintf(os.Stderr, "lhmm-bench: fig11 artifacts: %v\n", err)
 			}
 		}
 	}
+
+	if *asJSON {
+		if err := writeJSON(w, results, *scale, *trips, time.Since(runStart).Seconds()); err != nil {
+			fmt.Fprintln(os.Stderr, "lhmm-bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeJSON assembles and emits the lhmm-bench/v1 document.
+func writeJSON(w io.Writer, results []experiment, scale float64, trips int, totalS float64) error {
+	snap := obs.Default.Snapshot()
+	doc := output{
+		Schema:              "lhmm-bench/v1",
+		Timestamp:           time.Now().UTC().Format(time.RFC3339),
+		Scale:               scale,
+		Trips:               trips,
+		Experiments:         results,
+		TotalWallS:          totalS,
+		RouterCacheHitRate:  snap.Ratio("router.cache.hits", "router.cache.misses"),
+		ShortcutActivations: snap.Counters["hmm.shortcut.adoptions"],
+		ViterbiBreaks:       snap.Counters["hmm.viterbi.breaks"],
+		Obs:                 snap,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // writeFig11Artifacts saves the case study as SVG and GeoJSON files

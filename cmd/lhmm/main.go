@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/geo"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/synth"
 	"repro/internal/traj"
 )
@@ -58,7 +60,30 @@ commands:
   datagen   generate a synthetic paired cellular+GPS dataset
   train     train an LHMM on a dataset's training split
   match     match one test trajectory and report metrics
-  eval      evaluate methods on the test split`)
+  eval      evaluate methods on the test split
+
+observability flags (every command):
+  -metrics FILE     dump telemetry counters/histograms as JSON on exit ('-' for stderr)
+  -log-level LEVEL  structured logs on stderr: debug|info|warn|error
+  -debug-addr ADDR  serve /debug/pprof, /debug/vars, /metrics while running`)
+}
+
+// parseWithObs parses the flag set with the shared observability trio
+// bound, applies them, and returns the cleanup to run on exit.
+func parseWithObs(fs *flag.FlagSet, args []string) (func(), error) {
+	of := obs.BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	cleanup, err := of.Apply()
+	if err != nil {
+		return nil, err
+	}
+	return func() {
+		if err := cleanup(); err != nil {
+			fmt.Fprintln(os.Stderr, "lhmm: obs:", err)
+		}
+	}, nil
 }
 
 func cmdDatagen(args []string) error {
@@ -68,9 +93,11 @@ func cmdDatagen(args []string) error {
 	trips := fs.Int("trips", 200, "number of trips to simulate")
 	seed := fs.Int64("seed", 0, "override the preset RNG seed (0 keeps it)")
 	out := fs.String("out", "dataset.json", "output file")
-	if err := fs.Parse(args); err != nil {
+	cleanup, err := parseWithObs(fs, args)
+	if err != nil {
 		return err
 	}
+	defer cleanup()
 	var cfg synth.DatasetConfig
 	switch *preset {
 	case "xiamen":
@@ -121,9 +148,12 @@ func cmdTrain(args []string) error {
 	epochs := fs.Int("epochs", 4, "phase-1 training epochs")
 	k := fs.Int("k", 30, "candidates per point")
 	seed := fs.Int64("seed", 1, "training seed")
-	if err := fs.Parse(args); err != nil {
+	trace := fs.Bool("trace", false, "collect per-trajectory match traces during calibration")
+	cleanup, err := parseWithObs(fs, args)
+	if err != nil {
 		return err
 	}
+	defer cleanup()
 	ds, err := loadDataset(*data)
 	if err != nil {
 		return err
@@ -133,6 +163,7 @@ func cmdTrain(args []string) error {
 	cfg.Epochs = *epochs
 	cfg.K = *k
 	cfg.Seed = *seed
+	cfg.Trace = *trace
 	model, err := lhmm.Train(ds, cfg)
 	if err != nil {
 		return err
@@ -178,9 +209,12 @@ func cmdMatch(args []string) error {
 	k := fs.Int("k", 30, "candidates per point")
 	seed := fs.Int64("seed", 1, "seed the model was trained with")
 	geojson := fs.String("geojson", "", "optional GeoJSON output file")
-	if err := fs.Parse(args); err != nil {
+	traceOut := fs.String("trace", "", "write the per-trajectory match trace as JSON ('-' for stdout)")
+	cleanup, err := parseWithObs(fs, args)
+	if err != nil {
 		return err
 	}
+	defer cleanup()
 	ds, err := loadDataset(*data)
 	if err != nil {
 		return err
@@ -189,6 +223,7 @@ func cmdMatch(args []string) error {
 	if err != nil {
 		return err
 	}
+	model.Cfg.Trace = *traceOut != ""
 	tests := ds.TestTrips()
 	if *trip < 0 || *trip >= len(tests) {
 		return fmt.Errorf("trip index %d out of range (have %d test trips)", *trip, len(tests))
@@ -197,6 +232,20 @@ func cmdMatch(args []string) error {
 	res, err := model.Match(tr.Cell)
 	if err != nil {
 		return err
+	}
+	if *traceOut != "" && res.Trace != nil {
+		data, err := json.MarshalIndent(res.Trace, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *traceOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			return err
+		} else {
+			fmt.Printf("match trace -> %s\n", *traceOut)
+		}
 	}
 	pm := lhmm.EvalPath(ds.Net, res.Path, tr.Path, 50)
 	fmt.Printf("trip %d: %d cellular points -> %d road segments\n", tr.ID, len(tr.Cell), len(res.Path))
@@ -241,9 +290,11 @@ func cmdEval(args []string) error {
 	dim := fs.Int("dim", 32, "embedding dimension the model was trained with")
 	k := fs.Int("k", 30, "candidates per point")
 	seed := fs.Int64("seed", 1, "seed the model was trained with")
-	if err := fs.Parse(args); err != nil {
+	cleanup, err := parseWithObs(fs, args)
+	if err != nil {
 		return err
 	}
+	defer cleanup()
 	ds, err := loadDataset(*data)
 	if err != nil {
 		return err

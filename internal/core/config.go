@@ -73,6 +73,11 @@ type Config struct {
 	LabelSmooth float64
 	// Seed drives all sampling and initialization.
 	Seed int64
+
+	// Trace attaches a per-trajectory obs.MatchTrace to every Match
+	// result (candidate stats, Viterbi breaks, stage wall-clock).
+	// Off by default; costs a few clock reads per match when on.
+	Trace bool
 }
 
 // DefaultConfig returns the configuration used by the experiment

@@ -4,11 +4,22 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/hmm"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
+)
+
+// Inference telemetry (internal/obs).
+var (
+	obsCoreMatches   = obs.Default.Counter("core.matches")
+	obsCoreMatchErrs = obs.Default.Counter("core.match.errors")
+	obsCoreMatchS    = obs.Default.Histogram("core.match.seconds", obs.LatencyBuckets)
+	obsRoadProbHits  = obs.Default.Counter("core.roadprob.cache.hits")
+	obsRoadProbMiss  = obs.Default.Counter("core.roadprob.cache.misses")
 )
 
 // session holds the per-trajectory inference state: point embeddings,
@@ -88,8 +99,10 @@ func (s *session) obsScore(i int, sid roadnet.SegmentID, dist float64) float64 {
 // sid belongs to this trajectory.
 func (s *session) roadProb(sid roadnet.SegmentID) float64 {
 	if p, ok := s.roadP[sid]; ok {
+		obsRoadProbHits.Inc()
 		return p
 	}
+	obsRoadProbMiss.Inc()
 	d := s.m.Cfg.Dim
 	segRow := &nn.Mat{R: 1, C: d, W: s.m.segEmb(sid)}
 	xl, _ := s.m.TransAtt.Apply(segRow, s.ptEmb, s.ptEmb)
@@ -276,10 +289,17 @@ func (t transAdapter) Score(ct traj.CellTrajectory, i int, from, to *hmm.Candida
 // Match map-matches one cellular trajectory with the trained model.
 func (m *Model) Match(ct traj.CellTrajectory) (*hmm.Result, error) {
 	if m.emb == nil {
+		obsCoreMatchErrs.Inc()
 		return nil, fmt.Errorf("core: model has no embeddings; call RefreshEmbeddings after training or loading")
 	}
 	if len(ct) == 0 {
+		obsCoreMatchErrs.Inc()
 		return nil, fmt.Errorf("core: empty trajectory")
+	}
+	var start time.Time
+	if timed := obs.Default.Enabled(); timed {
+		start = time.Now()
+		defer func() { obsCoreMatchS.ObserveSince(start) }()
 	}
 	sess := m.newSession(ct)
 	matcher := &hmm.Matcher{
@@ -287,7 +307,13 @@ func (m *Model) Match(ct traj.CellTrajectory) (*hmm.Result, error) {
 		Router: m.Router,
 		Obs:    sess,
 		Trans:  transAdapter{sess},
-		Cfg:    hmm.Config{K: m.Cfg.K, Shortcuts: m.Cfg.Shortcuts},
+		Cfg:    hmm.Config{K: m.Cfg.K, Shortcuts: m.Cfg.Shortcuts, Trace: m.Cfg.Trace},
 	}
-	return matcher.Match(ct)
+	res, err := matcher.Match(ct)
+	if err != nil {
+		obsCoreMatchErrs.Inc()
+		return nil, err
+	}
+	obsCoreMatches.Inc()
+	return res, nil
 }

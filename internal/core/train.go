@@ -4,11 +4,22 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
+)
+
+// Training telemetry (internal/obs): per-epoch loss and wall-clock for
+// both phases, surfaced as structured logs and histograms.
+var (
+	obsTrainEpochs  = obs.Default.Counter("train.epochs")
+	obsTrainEpochS  = obs.Default.Histogram("train.epoch.seconds", obs.LatencyBuckets)
+	obsTrainLoss    = obs.Default.Gauge("train.loss.milli") // last epoch mean loss ×1000
+	obsTrainSeconds = obs.Default.Histogram("train.total.seconds", obs.LatencyBuckets)
 )
 
 // Train builds and trains an LHMM on the dataset's training split
@@ -16,6 +27,7 @@ import (
 // implicit correlation networks by road classification; phase 2
 // fine-tunes the fuse MLPs that blend implicit and explicit features.
 func Train(ds *traj.Dataset, cfg Config) (*Model, error) {
+	start := time.Now()
 	trips := ds.TrainTrips()
 	if len(trips) == 0 {
 		return nil, fmt.Errorf("core: no training trips")
@@ -35,6 +47,9 @@ func Train(ds *traj.Dataset, cfg Config) (*Model, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: no usable training trips")
 	}
+	obs.Logger().Info("core: training started",
+		"trips", len(trips), "usable", len(samples),
+		"dim", m.Cfg.Dim, "epochs", m.Cfg.Epochs, "fuse_epochs", m.Cfg.FuseEpochs)
 
 	m.calibrateDistScale(samples)
 	m.pretrainFuse(rng)
@@ -46,6 +61,10 @@ func Train(ds *traj.Dataset, cfg Config) (*Model, error) {
 		return nil, err
 	}
 	m.calibrateGamma(ds)
+	obsTrainSeconds.ObserveSince(start)
+	obs.Logger().Info("core: training finished",
+		"seconds", time.Since(start).Seconds(),
+		"dist_scale", m.distScale.W.W[0], "gamma", m.transGamma.W.W[0])
 	return m, nil
 }
 
@@ -88,6 +107,8 @@ func (m *Model) calibrateGamma(ds *traj.Dataset) {
 		}
 	}
 	m.transGamma.W.W[0] = bestGamma
+	obs.Logger().Debug("core: transition gamma calibrated",
+		"gamma", bestGamma, "validation_trips", len(trips))
 }
 
 // tripSample is the preprocessed training view of one trip.
@@ -202,6 +223,9 @@ func (m *Model) trainImplicit(samples []*tripSample, rng *rand.Rand) error {
 	params := m.implicitParams()
 
 	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		epochStart := time.Now()
+		var lossSum float64
+		var lossN int
 		perm := rng.Perm(len(samples))
 		for at := 0; at < len(perm); at += m.Cfg.BatchTrips {
 			end := at + m.Cfg.BatchTrips
@@ -235,9 +259,21 @@ func (m *Model) trainImplicit(samples []*tripSample, rng *rand.Rand) error {
 			if err := tp.Backward(loss); err != nil {
 				return fmt.Errorf("core: phase 1: %w", err)
 			}
+			lossSum += loss.Val.W[0] * float64(len(losses))
+			lossN += len(losses)
 			nn.ClipGradNorm(params, 5)
 			opt.Step(params)
 		}
+		meanLoss := math.NaN()
+		if lossN > 0 {
+			meanLoss = lossSum / float64(lossN)
+			obsTrainLoss.Set(int64(meanLoss * 1000))
+		}
+		obsTrainEpochs.Inc()
+		obsTrainEpochS.ObserveSince(epochStart)
+		obs.Logger().Info("core: phase 1 epoch",
+			"epoch", epoch+1, "of", m.Cfg.Epochs,
+			"loss", meanLoss, "seconds", time.Since(epochStart).Seconds())
 	}
 	return nil
 }
@@ -369,6 +405,9 @@ func (m *Model) trainFuse(samples []*tripSample, rng *rand.Rand) error {
 	transParams := m.TransFuse.Params()
 
 	for epoch := 0; epoch < m.Cfg.FuseEpochs; epoch++ {
+		epochStart := time.Now()
+		var lossSum float64
+		var lossN int
 		perm := rng.Perm(len(samples))
 		for _, si := range perm {
 			s := samples[si]
@@ -382,6 +421,8 @@ func (m *Model) trainFuse(samples []*tripSample, rng *rand.Rand) error {
 				if err := tp.Backward(loss); err != nil {
 					return fmt.Errorf("core: phase 2 obs: %w", err)
 				}
+				lossSum += loss.Val.W[0]
+				lossN++
 				opt.Step(obsParams)
 			}
 
@@ -392,9 +433,20 @@ func (m *Model) trainFuse(samples []*tripSample, rng *rand.Rand) error {
 				if err := tp.Backward(loss); err != nil {
 					return fmt.Errorf("core: phase 2 trans: %w", err)
 				}
+				lossSum += loss.Val.W[0]
+				lossN++
 				opt.Step(transParams)
 			}
 		}
+		meanLoss := math.NaN()
+		if lossN > 0 {
+			meanLoss = lossSum / float64(lossN)
+		}
+		obsTrainEpochs.Inc()
+		obsTrainEpochS.ObserveSince(epochStart)
+		obs.Logger().Info("core: phase 2 epoch",
+			"epoch", epoch+1, "of", m.Cfg.FuseEpochs,
+			"loss", meanLoss, "seconds", time.Since(epochStart).Seconds())
 	}
 	return nil
 }

@@ -14,7 +14,15 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/traj"
+)
+
+// Harness telemetry (internal/obs).
+var (
+	obsEvalTrips  = obs.Default.Counter("eval.trips")
+	obsEvalErrors = obs.Default.Counter("eval.trip.errors")
+	obsEvalTripS  = obs.Default.Histogram("eval.trip.seconds", obs.LatencyBuckets)
 )
 
 // LHMMMethod adapts a trained core.Model to the Method interface.
@@ -45,6 +53,7 @@ type TripResult struct {
 // aggregates the paper's metrics with the given CMF corridor radius.
 // Matching wall time is measured per trip (the paper's Avg Time).
 func EvaluateMethod(ds *traj.Dataset, m baselines.Method, trips []*traj.Trip, corridor float64) (metrics.Summary, []TripResult) {
+	evalStart := time.Now()
 	results := make([]TripResult, len(trips))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.NumCPU())
@@ -57,6 +66,8 @@ func EvaluateMethod(ds *traj.Dataset, m baselines.Method, trips []*traj.Trip, co
 			start := time.Now()
 			out, err := m.Match(tr.Cell)
 			elapsed := time.Since(start).Seconds()
+			obsEvalTrips.Inc()
+			obsEvalTripS.Observe(elapsed)
 			r := TripResult{TripID: tr.ID, Seconds: elapsed, Err: err}
 			if err == nil {
 				r.Metrics = metrics.EvalPath(ds.Net, out.Path, tr.Path, corridor)
@@ -64,6 +75,8 @@ func EvaluateMethod(ds *traj.Dataset, m baselines.Method, trips []*traj.Trip, co
 					r.HR = metrics.HittingRatio(out.Candidates, tr.Path)
 					r.HasHR = true
 				}
+			} else {
+				obsEvalErrors.Inc()
 			}
 			results[i] = r
 		}(i, tr)
@@ -85,7 +98,13 @@ func EvaluateMethod(ds *traj.Dataset, m baselines.Method, trips []*traj.Trip, co
 			acc.AddHR(r.HR)
 		}
 	}
-	return acc.Summary(), results
+	summary := acc.Summary()
+	obs.Logger().Debug("eval: method evaluated",
+		"method", m.Name(), "trips", len(trips),
+		"cmf50", summary.CMF, "rmf", summary.RMF,
+		"avg_trip_s", summary.AvgTimeS,
+		"wall_s", time.Since(evalStart).Seconds())
+	return summary, results
 }
 
 // Row is one rendered table row: a method name and its summary.

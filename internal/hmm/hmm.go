@@ -8,10 +8,28 @@ package hmm
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
+)
+
+// Matcher telemetry (internal/obs). Hot loops accumulate into locals
+// and flush once per Match, so the disabled-registry cost is a handful
+// of atomic loads per trajectory.
+var (
+	obsMatches       = obs.Default.Counter("hmm.matches")
+	obsMatchErrors   = obs.Default.Counter("hmm.match.errors")
+	obsCandidates    = obs.Default.Counter("hmm.candidates")
+	obsTransEval     = obs.Default.Counter("hmm.transitions.evaluated")
+	obsTransBlocked  = obs.Default.Counter("hmm.transitions.unreachable")
+	obsViterbiBreaks = obs.Default.Counter("hmm.viterbi.breaks")
+	obsShortcutTries = obs.Default.Counter("hmm.shortcut.attempts")
+	obsShortcutAdopt = obs.Default.Counter("hmm.shortcut.adoptions")
+	obsPointsSkipped = obs.Default.Counter("hmm.points.skipped")
+	obsMatchSeconds  = obs.Default.Histogram("hmm.match.seconds", obs.LatencyBuckets)
 )
 
 // Candidate is one candidate road segment for one trajectory point
@@ -70,6 +88,9 @@ type Result struct {
 	// ShortcutAdoptions counts how many table entries Algorithm 2
 	// improved (diagnostic; a skipped point also sets Skipped).
 	ShortcutAdoptions int
+	// Trace is the per-trajectory telemetry record, populated only when
+	// Config.Trace is set.
+	Trace *obs.MatchTrace
 }
 
 // Scoring selects how candidate paths accumulate step scores.
@@ -97,6 +118,10 @@ type Config struct {
 	// Scoring selects sum-of-products (the paper) or log-product
 	// accumulation.
 	Scoring Scoring
+	// Trace collects a per-trajectory obs.MatchTrace on every Match
+	// (per-point candidate and score stats, break events, stage
+	// wall-clock) at the cost of a few clock reads per stage.
+	Trace bool
 }
 
 // Matcher runs HMM path-finding with pluggable probability models —
@@ -113,6 +138,7 @@ type Matcher struct {
 // shortcut optimization on one cellular trajectory.
 func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 	if len(ct) == 0 {
+		obsMatchErrors.Inc()
 		return nil, fmt.Errorf("hmm: empty trajectory")
 	}
 	k := m.Cfg.K
@@ -120,23 +146,60 @@ func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 		k = 30
 	}
 
+	// Telemetry: counters accumulate into locals and flush once at the
+	// end; the per-stage clock only runs when tracing is on.
+	var trace *obs.MatchTrace
+	if m.Cfg.Trace {
+		trace = obs.NewMatchTrace(len(ct))
+	}
+	var st obs.StageTimings
+	stage := func(target *float64) func() {
+		if trace == nil {
+			return nopStage
+		}
+		return obs.Stage(target)
+	}
+	var start time.Time
+	timed := trace != nil || obs.Default.Enabled()
+	if timed {
+		start = time.Now()
+	}
+	var nCand, nEval, nBlocked int64
+
 	// Step 1: candidate preparation.
+	done := stage(&st.CandidatesS)
 	layers := make([][]Candidate, len(ct))
 	for i := range ct {
 		layers[i] = m.Obs.Candidates(ct, i, k)
 		if len(layers[i]) == 0 {
+			obsMatchErrors.Inc()
 			return nil, fmt.Errorf("hmm: no candidates for point %d", i)
+		}
+		nCand += int64(len(layers[i]))
+		if trace != nil {
+			pt := &trace.Points[i]
+			pt.Candidates = len(layers[i])
+			var sum float64
+			for j := range layers[i] {
+				if o := layers[i][j].Obs; o > pt.BestObs {
+					pt.BestObs = o
+				}
+				sum += layers[i][j].Obs
+			}
+			pt.MeanObs = sum / float64(len(layers[i]))
 		}
 	}
 	keep := make([][]Candidate, len(layers))
 	for i := range layers {
 		keep[i] = append([]Candidate(nil), layers[i]...)
 	}
+	done()
 
 	// Steps 2–3: candidate graph scores + Viterbi forward pass. Step
 	// scores between consecutive layers are memoized (steps[i][j][kk] =
 	// W(c_{i-1}^j → c_i^kk), NaN when unreachable) so the shortcut pass
 	// can reuse them instead of re-running the transition model.
+	done = stage(&st.ViterbiS)
 	n := len(ct)
 	f := make([][]float64, n)
 	pre := make([][]int, n) // index into layers[i-1]; -1 for none
@@ -147,6 +210,7 @@ func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 		f[0][j] = m.accum(layers[0][j].Obs)
 		pre[0][j] = -1
 	}
+	var nBreaks int64
 	for i := 1; i < n; i++ {
 		f[i] = make([]float64, len(layers[i]))
 		pre[i] = make([]int, len(layers[i]))
@@ -157,13 +221,16 @@ func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 				steps[i][j][kk] = math.NaN()
 			}
 		}
+		restarts, reachable := 0, 0
 		for kk := range layers[i] {
 			best, bestJ := math.Inf(-1), -1
 			for j := range layers[i-1] {
 				w, ok := m.stepScore(ct, i, &layers[i-1][j], &layers[i][kk])
 				if !ok {
+					nBlocked++
 					continue
 				}
+				reachable++
 				steps[i][j][kk] = w
 				if math.IsInf(f[i-1][j], -1) {
 					continue
@@ -177,25 +244,44 @@ func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 				// one broken layer cannot void the whole trajectory.
 				f[i][kk] = m.accum(layers[i][kk].Obs)
 				pre[i][kk] = -1
+				restarts++
 				continue
 			}
 			f[i][kk] = best
 			pre[i][kk] = bestJ
 		}
+		nEval += int64(len(layers[i]) * len(layers[i-1]))
+		if trace != nil {
+			pt := &trace.Points[i]
+			pt.TransEvaluated = len(layers[i]) * len(layers[i-1])
+			pt.TransReachable = reachable
+			pt.Restarts = restarts
+		}
+		if restarts == len(layers[i]) {
+			// Every candidate restarted: the chain broke at this point
+			// and recovers from fresh observation scores.
+			nBreaks++
+			trace.AddBreak(i)
+		}
 	}
+	done()
 
 	// Shortcut optimization (Algorithm 2).
-	adoptions := 0
+	done = stage(&st.ShortcutsS)
+	adoptions, attempts := 0, 0
 	if m.Cfg.Shortcuts > 0 && n >= 3 {
-		adoptions = m.addShortcuts(ct, layers, f, pre, steps)
+		adoptions, attempts = m.addShortcuts(ct, layers, f, pre, steps)
 	}
+	done()
 
 	// Backward pass.
+	done = stage(&st.BacktrackS)
 	res := &Result{
 		Matched:           make([]Candidate, n),
 		Skipped:           make([]bool, n),
 		Candidates:        keep,
 		ShortcutAdoptions: adoptions,
+		Trace:             trace,
 	}
 	lastBest, lastIdx := math.Inf(-1), 0
 	for j := range layers[n-1] {
@@ -205,9 +291,16 @@ func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 	}
 	res.Score = lastBest
 	idx := lastIdx
+	var nSkipped int64
 	for i := n - 1; i >= 0; i-- {
 		res.Matched[i] = layers[i][idx]
 		res.Skipped[i] = layers[i][idx].pseudo
+		if res.Skipped[i] {
+			nSkipped++
+			if trace != nil {
+				trace.Points[i].Skipped = true
+			}
+		}
 		if i > 0 {
 			idx = pre[i][idx]
 			if idx < 0 {
@@ -222,10 +315,35 @@ func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 			}
 		}
 	}
+	done()
 
+	done = stage(&st.ExpandS)
 	res.Path = m.expandPath(res.Matched)
+	done()
+
+	obsMatches.Inc()
+	obsCandidates.Add(nCand)
+	obsTransEval.Add(nEval)
+	obsTransBlocked.Add(nBlocked)
+	obsViterbiBreaks.Add(nBreaks)
+	obsShortcutTries.Add(int64(attempts))
+	obsShortcutAdopt.Add(int64(adoptions))
+	obsPointsSkipped.Add(nSkipped)
+	if timed {
+		elapsed := time.Since(start).Seconds()
+		obsMatchSeconds.Observe(elapsed)
+		if trace != nil {
+			st.TotalS = elapsed
+			trace.Stages = st
+			trace.ShortcutAdoptions = adoptions
+			trace.ShortcutAttempts = attempts
+		}
+	}
 	return res, nil
 }
+
+// nopStage is the shared no-op stage closer used when tracing is off.
+var nopStage = func() {}
 
 // stepScore is Eq. 13: W(a→b) = P_T(a→b) · P_O(b|x_i), accumulated
 // per the configured scoring.

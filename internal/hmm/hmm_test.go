@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
@@ -323,5 +324,88 @@ func TestLogSpaceScoring(t *testing.T) {
 	}
 	if got := m.accum(1e-300); got != -20 {
 		t.Errorf("accum(tiny) = %v, want -20", got)
+	}
+}
+
+func TestMatchTraceCollected(t *testing.T) {
+	net, r := gridWorld(t, 8, 3)
+	m := classicMatcher(net, r, 6, 1)
+	m.Cfg.Trace = true
+	ct := trajAlong(
+		geo.Pt(20, 108), geo.Pt(150, 93), geo.Pt(290, 110),
+		geo.Pt(420, 95), geo.Pt(550, 104),
+	)
+	res, err := m.Match(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("Cfg.Trace set but Result.Trace is nil")
+	}
+	if len(tr.Points) != len(ct) {
+		t.Fatalf("trace has %d points for %d-point trajectory", len(tr.Points), len(ct))
+	}
+	for i, pt := range tr.Points {
+		if pt.Candidates <= 0 {
+			t.Errorf("point %d: candidates = %d", i, pt.Candidates)
+		}
+		if pt.BestObs <= 0 || pt.BestObs < pt.MeanObs {
+			t.Errorf("point %d: best %v < mean %v", i, pt.BestObs, pt.MeanObs)
+		}
+		if i > 0 && pt.TransEvaluated <= 0 {
+			t.Errorf("point %d: no transitions evaluated", i)
+		}
+		if pt.TransReachable > pt.TransEvaluated {
+			t.Errorf("point %d: reachable %d > evaluated %d", i, pt.TransReachable, pt.TransEvaluated)
+		}
+	}
+	if tr.TotalCandidates() <= 0 {
+		t.Error("TotalCandidates = 0")
+	}
+	if tr.Stages.TotalS <= 0 {
+		t.Errorf("stage total = %v", tr.Stages.TotalS)
+	}
+	sumStages := tr.Stages.CandidatesS + tr.Stages.ViterbiS + tr.Stages.ShortcutsS +
+		tr.Stages.BacktrackS + tr.Stages.ExpandS
+	if sumStages > tr.Stages.TotalS {
+		t.Errorf("stage sum %v exceeds total %v", sumStages, tr.Stages.TotalS)
+	}
+	if tr.ShortcutAdoptions != res.ShortcutAdoptions {
+		t.Errorf("trace adoptions %d != result %d", tr.ShortcutAdoptions, res.ShortcutAdoptions)
+	}
+	if tr.ShortcutAttempts < tr.ShortcutAdoptions {
+		t.Errorf("attempts %d < adoptions %d", tr.ShortcutAttempts, tr.ShortcutAdoptions)
+	}
+
+	// Tracing off: no trace allocated.
+	m.Cfg.Trace = false
+	res, err = m.Match(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Error("trace collected with Cfg.Trace off")
+	}
+}
+
+func TestMatchCountersRecorded(t *testing.T) {
+	obs.Default.Enable()
+	t.Cleanup(obs.Default.Disable)
+	matches := obs.Default.Counter("hmm.matches")
+	cands := obs.Default.Counter("hmm.candidates")
+	before, candsBefore := matches.Value(), cands.Value()
+
+	net, r := gridWorld(t, 6, 3)
+	m := classicMatcher(net, r, 5, 0)
+	ct := trajAlong(geo.Pt(20, 100), geo.Pt(150, 100), geo.Pt(290, 100))
+	if _, err := m.Match(ct); err != nil {
+		t.Fatal(err)
+	}
+	if got := matches.Value() - before; got != 1 {
+		t.Errorf("hmm.matches delta = %d, want 1", got)
+	}
+	if got := cands.Value() - candsBefore; got <= 0 {
+		t.Errorf("hmm.candidates delta = %d, want > 0", got)
 	}
 }

@@ -16,8 +16,10 @@ import (
 //
 // Adopted pseudo-candidates are appended to layer i-1 with their f and
 // pre entries, so the backward pass can walk through them.
-func (m *Matcher) addShortcuts(ct traj.CellTrajectory, layers [][]Candidate, f [][]float64, pre [][]int, steps [][][]float64) int {
-	adoptions := 0
+//
+// It returns how many table entries improved (adoptions) and how many
+// shortcut constructions were examined (attempts) for telemetry.
+func (m *Matcher) addShortcuts(ct traj.CellTrajectory, layers [][]Candidate, f [][]float64, pre [][]int, steps [][][]float64) (adoptions, attempts int) {
 	n := len(ct)
 	for i := 2; i < n; i++ {
 		// Pre-compute, per middle candidate l, its best grand-predecessor
@@ -30,6 +32,7 @@ func (m *Matcher) addShortcuts(ct traj.CellTrajectory, layers [][]Candidate, f [
 			}
 			preds := m.bestOneHopPredecessors(layers, f, steps, i, kk, m.Cfg.Shortcuts)
 			for _, j := range preds {
+				attempts++
 				grand := &layers[i-2][j]
 				route, ok := m.Router.RouteBetween(grand.Pos(), cur.Pos())
 				if !ok || len(route.Segs) == 0 {
@@ -58,7 +61,7 @@ func (m *Matcher) addShortcuts(ct traj.CellTrajectory, layers [][]Candidate, f [
 			}
 		}
 	}
-	return adoptions
+	return adoptions, attempts
 }
 
 // bestOneHopPredecessors returns the indices (into layers[i-2]) of the

@@ -4,8 +4,20 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
+)
+
+// Streaming telemetry (internal/obs). The pending gauge is the live
+// emit lag: points pushed but not yet finalized, aggregated across all
+// StreamMatchers reporting into the Default registry.
+var (
+	obsStreamPushes  = obs.Default.Counter("stream.pushes")
+	obsStreamEmitted = obs.Default.Counter("stream.emitted")
+	obsStreamBreaks  = obs.Default.Counter("stream.breaks")
+	obsStreamErrors  = obs.Default.Counter("stream.errors")
+	obsStreamPending = obs.Default.Gauge("stream.pending")
 )
 
 // StreamMatcher is an online variant of the matcher: points arrive one
@@ -44,6 +56,7 @@ func NewStreamMatcher(m *Matcher, lag int) *StreamMatcher {
 // Push processes the next trajectory point and returns any newly
 // finalized matches (zero or one per call in steady state).
 func (s *StreamMatcher) Push(p traj.CellPoint) ([]Candidate, error) {
+	obsStreamPushes.Inc()
 	s.ct = append(s.ct, p)
 	i := len(s.ct) - 1
 	k := s.M.Cfg.K
@@ -52,6 +65,7 @@ func (s *StreamMatcher) Push(p traj.CellPoint) ([]Candidate, error) {
 	}
 	layer := s.M.Obs.Candidates(s.ct, i, k)
 	if len(layer) == 0 {
+		obsStreamErrors.Inc()
 		return nil, fmt.Errorf("hmm: stream: no candidates for point %d", i)
 	}
 	s.layers = append(s.layers, layer)
@@ -63,6 +77,7 @@ func (s *StreamMatcher) Push(p traj.CellPoint) ([]Candidate, error) {
 			pre[j] = -1
 		}
 	} else {
+		restarts := 0
 		for kk := range layer {
 			best, bestJ := math.Inf(-1), -1
 			for j := range s.layers[i-1] {
@@ -80,22 +95,40 @@ func (s *StreamMatcher) Push(p traj.CellPoint) ([]Candidate, error) {
 			if bestJ < 0 {
 				f[kk] = s.M.accum(layer[kk].Obs)
 				pre[kk] = -1
+				restarts++
 				continue
 			}
 			f[kk] = best
 			pre[kk] = bestJ
 		}
+		if restarts == len(layer) {
+			// The chain broke here: every candidate restarted from its
+			// observation score (the streaming analogue of the batch
+			// matcher's break-and-recover event).
+			obsStreamBreaks.Inc()
+		}
 	}
 	s.f = append(s.f, f)
 	s.pre = append(s.pre, pre)
 
-	return s.emitUpTo(len(s.ct) - 1 - s.Lag), nil
+	out := s.emitUpTo(len(s.ct) - 1 - s.Lag)
+	obsStreamEmitted.Add(int64(len(out)))
+	obsStreamPending.Set(int64(s.Pending()))
+	return out, nil
 }
 
 // Flush finalizes all remaining points and returns their matches.
 func (s *StreamMatcher) Flush() []Candidate {
-	return s.emitUpTo(len(s.ct) - 1)
+	out := s.emitUpTo(len(s.ct) - 1)
+	obsStreamEmitted.Add(int64(len(out)))
+	obsStreamPending.Set(int64(s.Pending()))
+	return out
 }
+
+// Pending returns the current emit lag: points pushed but not yet
+// finalized. It grows toward Lag during warm-up, holds at Lag in
+// steady state, and Flush drives it to zero.
+func (s *StreamMatcher) Pending() int { return len(s.ct) - s.emitted }
 
 // emitUpTo finalizes matches for points [emitted, until] by
 // backtracking from the current best terminal candidate.

@@ -1,10 +1,14 @@
 package hmm
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/roadnet"
 )
 
 func TestStreamMatchesBatchOnEasyTrack(t *testing.T) {
@@ -102,5 +106,151 @@ func TestStreamZeroLag(t *testing.T) {
 	// Negative lag clamps to zero.
 	if sm2 := NewStreamMatcher(classicMatcher(net, r, 5, 0), -3); sm2.Lag != 0 {
 		t.Errorf("negative lag = %d", sm2.Lag)
+	}
+}
+
+func TestStreamFlushEmpty(t *testing.T) {
+	net, r := gridWorld(t, 4, 3)
+	sm := NewStreamMatcher(classicMatcher(net, r, 5, 0), 2)
+	if out := sm.Flush(); len(out) != 0 {
+		t.Fatalf("empty Flush emitted %d matches", len(out))
+	}
+	if sm.Pending() != 0 {
+		t.Errorf("Pending on empty stream = %d", sm.Pending())
+	}
+	if len(sm.Matched()) != 0 {
+		t.Errorf("Matched on empty stream = %d", len(sm.Matched()))
+	}
+	// Flushing an empty stream twice stays a no-op.
+	if out := sm.Flush(); len(out) != 0 {
+		t.Fatalf("second empty Flush emitted %d matches", len(out))
+	}
+}
+
+func TestStreamLagLargerThanTrajectory(t *testing.T) {
+	obs.Default.Enable()
+	t.Cleanup(obs.Default.Disable)
+	pending := obs.Default.Gauge("stream.pending")
+
+	net, r := gridWorld(t, 8, 3)
+	sm := NewStreamMatcher(classicMatcher(net, r, 5, 0), 10)
+	ct := trajAlong(geo.Pt(20, 100), geo.Pt(150, 100), geo.Pt(290, 100))
+	for i, p := range ct {
+		out, err := sm.Push(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("lag 10 emitted %d matches after %d points", len(out), i+1)
+		}
+		// The emit-lag gauge tracks the pushed-but-unfinalized count.
+		if want := int64(i + 1); pending.Value() != want {
+			t.Errorf("pending gauge after push %d = %d, want %d", i+1, pending.Value(), want)
+		}
+	}
+	if sm.Pending() != len(ct) {
+		t.Errorf("Pending = %d, want %d", sm.Pending(), len(ct))
+	}
+	out := sm.Flush()
+	if len(out) != len(ct) {
+		t.Fatalf("Flush emitted %d, want %d", len(out), len(ct))
+	}
+	if sm.Pending() != 0 || pending.Value() != 0 {
+		t.Errorf("after Flush: Pending=%d gauge=%d, want 0", sm.Pending(), pending.Value())
+	}
+}
+
+func TestStreamPushAfterViterbiBreak(t *testing.T) {
+	obs.Default.Enable()
+	t.Cleanup(obs.Default.Disable)
+	breaks := obs.Default.Counter("stream.breaks")
+	before := breaks.Value()
+
+	// A router bound tight enough that the mid-trajectory jump is
+	// unreachable from every candidate: the chain breaks and restarts.
+	net, _ := gridWorld(t, 14, 3)
+	r := roadnet.NewRouter(net, roadnet.WithMaxDist(250))
+	sm := NewStreamMatcher(&Matcher{
+		Net:    net,
+		Router: r,
+		Obs:    &GaussianObservation{Net: net, Sigma: 100},
+		Trans:  &ExponentialTransition{Router: r, Beta: 200},
+		Cfg:    Config{K: 5},
+	}, 1)
+
+	pts := trajAlong(
+		geo.Pt(20, 100), geo.Pt(150, 100), // cluster A
+		geo.Pt(1250, 100), geo.Pt(1300, 100), // far jump: unreachable within 250 m
+	)
+	var emitted []Candidate
+	for _, p := range pts {
+		out, err := sm.Push(p)
+		if err != nil {
+			t.Fatalf("Push after break: %v", err)
+		}
+		emitted = append(emitted, out...)
+	}
+	emitted = append(emitted, sm.Flush()...)
+	if len(emitted) != len(pts) {
+		t.Fatalf("emitted %d matches for %d points", len(emitted), len(pts))
+	}
+	if got := breaks.Value() - before; got < 1 {
+		t.Errorf("stream.breaks delta = %d, want >= 1", got)
+	}
+	// Matches on both sides of the break stay near their own cluster.
+	if a := net.Segment(emitted[1].Seg).Midpoint(); a.X > 600 {
+		t.Errorf("pre-break match drifted to %v", a)
+	}
+	if b := net.Segment(emitted[2].Seg).Midpoint(); b.X < 600 {
+		t.Errorf("post-break match drifted to %v", b)
+	}
+}
+
+// TestStreamConcurrentInstrumented exercises the telemetry layer from
+// concurrent streaming pipelines sharing one router (the -race
+// acceptance gate for the instrumentation).
+func TestStreamConcurrentInstrumented(t *testing.T) {
+	obs.Default.Enable()
+	t.Cleanup(obs.Default.Disable)
+	pushes := obs.Default.Counter("stream.pushes")
+	before := pushes.Value()
+
+	net, r := gridWorld(t, 10, 4)
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sm := NewStreamMatcher(classicMatcher(net, r, 5, 0), 2)
+			y := 100.0 * float64(1+w%2)
+			ct := trajAlong(
+				geo.Pt(20, y), geo.Pt(150, y), geo.Pt(290, y),
+				geo.Pt(420, y), geo.Pt(550, y),
+			)
+			var n int
+			for _, p := range ct {
+				out, err := sm.Push(p)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				n += len(out)
+			}
+			n += len(sm.Flush())
+			if n != len(ct) {
+				errs[w] = fmt.Errorf("emitted %d matches, want %d", n, len(ct))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", w, err)
+		}
+	}
+	if got := pushes.Value() - before; got != workers*5 {
+		t.Errorf("stream.pushes delta = %d, want %d", got, workers*5)
 	}
 }

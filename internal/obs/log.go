@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// levelOff is above every standard slog level, silencing the default
+// logger until a CLI opts in with SetLogLevel.
+const levelOff = slog.LevelError + 4
+
+var logLevel slog.LevelVar
+
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logLevel.Set(levelOff)
+	logger.Store(slog.New(slog.NewTextHandler(io.Discard, nil)))
+}
+
+// Logger returns the telemetry logger. It discards everything until
+// SetLogOutput/SetLogLevel route it somewhere; callers on hot paths
+// should guard expensive attribute construction with
+// Logger().Enabled(nil, level).
+func Logger() *slog.Logger { return logger.Load() }
+
+// SetLogger replaces the telemetry logger wholesale (tests, custom
+// handlers).
+func SetLogger(l *slog.Logger) { logger.Store(l) }
+
+// SetLogOutput routes structured logs to w at the current level.
+func SetLogOutput(w io.Writer) {
+	logger.Store(slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: &logLevel})))
+}
+
+// SetLogLevel sets the minimum level emitted by loggers installed via
+// SetLogOutput.
+func SetLogLevel(l slog.Level) { logLevel.Set(l) }
+
+// ParseLevel maps a flag string to a slog level: debug, info, warn,
+// error, or off (case-insensitive).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	case "off", "none", "":
+		return levelOff, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error|off)", s)
+}

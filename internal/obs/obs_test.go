@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterDisabledIsNoOp(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("disabled counter recorded %d", got)
+	}
+	r.Enable()
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 6 {
+		t.Fatalf("enabled counter = %d, want 6", got)
+	}
+	r.Disable()
+	c.Inc()
+	if got := c.Value(); got != 6 {
+		t.Fatalf("re-disabled counter = %d, want 6", got)
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("nil instruments leaked values")
+	}
+}
+
+func TestInstrumentInterning(t *testing.T) {
+	r := New()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("same counter name yielded different instruments")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Error("same gauge name yielded different instruments")
+	}
+	if r.Histogram("a", LatencyBuckets) != r.Histogram("a", nil) {
+		t.Error("same histogram name yielded different instruments")
+	}
+	names := r.CounterNames()
+	if len(names) != 1 || names[0] != "a" {
+		t.Errorf("CounterNames = %v", names)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := New()
+	r.Enable()
+	g := r.Gauge("lag")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	r.Enable()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	snap := r.Snapshot().Histograms["lat"]
+	// 0.5 and 1 land in bucket ≤1; 5 in ≤10; 50 in ≤100; 500 overflows.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if snap.Buckets[i] != w {
+			t.Fatalf("buckets = %v, want %v", snap.Buckets, want)
+		}
+	}
+	if snap.Overflow != 1 {
+		t.Fatalf("overflow = %d", snap.Overflow)
+	}
+	if snap.Mean != 556.5/5 {
+		t.Fatalf("mean = %v", snap.Mean)
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	r := New()
+	r.Enable()
+	r.Counter("hits").Add(3)
+	r.Counter("misses").Add(1)
+	r.Counter("silent") // never incremented: omitted from snapshot
+	r.Gauge("depth").Set(9)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+
+	s := r.Snapshot()
+	if s.Counters["hits"] != 3 || s.Counters["misses"] != 1 {
+		t.Fatalf("counters = %v", s.Counters)
+	}
+	if _, ok := s.Counters["silent"]; ok {
+		t.Error("zero counter present in snapshot")
+	}
+	if s.Gauges["depth"] != 9 {
+		t.Fatalf("gauges = %v", s.Gauges)
+	}
+	if got := s.Ratio("hits", "misses"); got != 0.75 {
+		t.Fatalf("Ratio = %v, want 0.75", got)
+	}
+	if (Snapshot{}).Ratio("a", "b") != 0 {
+		t.Error("empty ratio not 0")
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot not marshalable: %v", err)
+	}
+
+	r.Reset()
+	s = r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 || s.Gauges["depth"] != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+	// Handles stay live across Reset.
+	r.Counter("hits").Inc()
+	if r.Snapshot().Counters["hits"] != 1 {
+		t.Error("counter handle dead after Reset")
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := New()
+	r.Enable()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", LatencyBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) * 0.001)
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("c=%d g=%d h=%d, want 8000 each", c.Value(), g.Value(), h.Count())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"INFO":  slog.LevelInfo,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+		"off":   levelOff,
+		"":      levelOff,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestLoggerRouting(t *testing.T) {
+	t.Cleanup(func() {
+		logLevel.Set(levelOff)
+		logger.Store(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	})
+	var buf bytes.Buffer
+	SetLogLevel(slog.LevelInfo)
+	SetLogOutput(&buf)
+	Logger().Debug("hidden")
+	Logger().Info("visible", "k", 1)
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "visible") {
+		t.Fatalf("log output = %q", out)
+	}
+}
+
+func TestStageTimer(t *testing.T) {
+	var s float64
+	done := Stage(&s)
+	time.Sleep(2 * time.Millisecond)
+	done()
+	if s <= 0 {
+		t.Fatalf("stage seconds = %v", s)
+	}
+	Stage(nil)() // no-op must not panic
+}
+
+func TestMatchTraceHelpers(t *testing.T) {
+	var nilTrace *MatchTrace
+	nilTrace.AddBreak(0)
+	if nilTrace.TotalCandidates() != 0 || nilTrace.SkippedPoints() != 0 {
+		t.Fatal("nil trace leaked values")
+	}
+	tr := NewMatchTrace(3)
+	tr.Points[0].Candidates = 4
+	tr.Points[2].Candidates = 6
+	tr.Points[1].Skipped = true
+	tr.AddBreak(2)
+	if tr.TotalCandidates() != 10 {
+		t.Errorf("TotalCandidates = %d", tr.TotalCandidates())
+	}
+	if tr.SkippedPoints() != 1 {
+		t.Errorf("SkippedPoints = %d", tr.SkippedPoints())
+	}
+	if len(tr.Breaks) != 1 || tr.Breaks[0] != 2 {
+		t.Errorf("Breaks = %v", tr.Breaks)
+	}
+	if _, err := json.Marshal(tr); err != nil {
+		t.Fatalf("trace not marshalable: %v", err)
+	}
+}
+
+func TestServe(t *testing.T) {
+	wasEnabled := Default.Enabled()
+	t.Cleanup(func() {
+		if !wasEnabled {
+			Default.Disable()
+		}
+	})
+	addr, stop, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop() //nolint:errcheck
+	Default.Counter("serve.test").Inc()
+
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if path == "/metrics" {
+			var snap Snapshot
+			if err := json.Unmarshal(body, &snap); err != nil {
+				t.Fatalf("/metrics not JSON: %v", err)
+			}
+			if snap.Counters["serve.test"] != 1 {
+				t.Errorf("/metrics counters = %v", snap.Counters)
+			}
+		}
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}

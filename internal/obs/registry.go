@@ -1,0 +1,332 @@
+// Package obs is the runtime telemetry layer: counters, gauges, and
+// fixed-bucket histograms behind an atomic no-op-by-default Registry,
+// structured logging via log/slog, per-trajectory match traces, and
+// pprof/expvar debug serving. It is stdlib-only and designed so that
+// instrumented hot paths cost almost nothing when observability is off:
+// every instrument method first loads one shared atomic.Bool and
+// returns, which BenchmarkCounterDisabled (bench_test.go) pins at a few
+// nanoseconds with zero allocations. Instruments are interned by name,
+// so package-level handles can be grabbed once at init and hammered
+// from any goroutine — all state is atomic and safe under -race.
+//
+// The package-level Default registry is what the library's hot paths
+// (roadnet.Router, hmm.Matcher, core training) report into; CLIs enable
+// it with Default.Enable() or the BindFlags helper and dump
+// Default.Snapshot() as JSON.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry owns a namespace of instruments. The zero value is not
+// usable; call New. A disabled registry (the default) turns every
+// instrument update into a single atomic load.
+type Registry struct {
+	enabled atomic.Bool
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New creates a disabled registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry the library reports into.
+// Disabled until a CLI or test calls Default.Enable().
+var Default = New()
+
+// Enable turns instrument recording on.
+func (r *Registry) Enable() { r.enabled.Store(true) }
+
+// Disable turns instrument recording off (updates become no-ops again;
+// recorded values are kept until Reset).
+func (r *Registry) Disable() { r.enabled.Store(false) }
+
+// Enabled reports whether the registry records updates.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// Counter returns the counter registered under name, creating it on
+// first use. Safe for concurrent use; the same name always yields the
+// same instrument.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{on: &r.enabled}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{on: &r.enabled}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use (an implicit +Inf
+// bucket is always appended). Bounds must be sorted ascending; later
+// calls with different bounds reuse the first registration.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h := &Histogram{
+		on:     &r.enabled,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.histograms[name] = h
+	return h
+}
+
+// Reset zeroes every registered instrument (handles stay valid), so a
+// run's metrics can be measured as deltas from a clean slate.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.histograms {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+}
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	on *atomic.Bool
+	v  atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter or a
+// disabled registry.
+func (c *Counter) Add(n int64) {
+	if c == nil || !c.on.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous integer level (queue depth, lag, cache
+// size).
+type Gauge struct {
+	on *atomic.Bool
+	v  atomic.Int64
+}
+
+// Set stores the current level. No-op on a nil gauge or a disabled
+// registry.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add shifts the level by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets (upper-bound
+// inclusive), tracking total count and sum for mean computation.
+type Histogram struct {
+	on     *atomic.Bool
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one value. No-op on a nil histogram or a disabled
+// registry.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !h.on.Load() {
+		return
+	}
+	// Buckets are few (≤ ~12); linear scan beats binary search here.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed seconds since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil || !h.on.Load() {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Mean returns the mean observation, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if n := h.Count(); n > 0 {
+		return h.Sum() / float64(n)
+	}
+	return 0
+}
+
+// LatencyBuckets are the default bounds (in seconds) for wall-clock
+// histograms: 100µs to ~30s in roughly 3× steps.
+var LatencyBuckets = []float64{
+	0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30,
+}
+
+// Snapshot is a point-in-time JSON-marshalable view of a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot is one histogram's state: cumulative counts per
+// upper bound plus the overflow bucket.
+type HistogramSnapshot struct {
+	Count    int64     `json:"count"`
+	Sum      float64   `json:"sum"`
+	Mean     float64   `json:"mean"`
+	Bounds   []float64 `json:"bounds"`
+	Buckets  []int64   `json:"buckets"` // len(Bounds)+1; last is +Inf
+	Overflow int64     `json:"-"`
+}
+
+// Snapshot captures every instrument's current value. Instruments that
+// never recorded anything are omitted, keeping JSON dumps focused.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for name, c := range r.counters {
+		if v := c.Value(); v != 0 {
+			s.Counters[name] = v
+		}
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		if h.Count() == 0 {
+			continue
+		}
+		hs := HistogramSnapshot{
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Mean:    h.Mean(),
+			Bounds:  append([]float64(nil), h.bounds...),
+			Buckets: make([]int64, len(h.counts)),
+		}
+		for i := range h.counts {
+			hs.Buckets[i] = h.counts[i].Load()
+		}
+		hs.Overflow = hs.Buckets[len(hs.Buckets)-1]
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// CounterNames returns the sorted names of all registered counters
+// (including zero-valued ones), mainly for tests and debug listings.
+func (r *Registry) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Ratio returns a/(a+b) from two counter names in the snapshot — the
+// shape of every hit-rate computation — or 0 when both are zero.
+func (s Snapshot) Ratio(a, b string) float64 {
+	x, y := float64(s.Counters[a]), float64(s.Counters[b])
+	if x+y == 0 {
+		return 0
+	}
+	return x / (x + y)
+}

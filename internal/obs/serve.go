@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+var publishOnce sync.Once
+
+// Serve starts a debug HTTP server on addr exposing:
+//
+//	/debug/pprof/*  — net/http/pprof profiling endpoints
+//	/debug/vars     — expvar, including the Default registry under "obs"
+//	/metrics        — the Default registry snapshot as JSON
+//
+// It enables the Default registry (metrics that nobody records are
+// useless to serve) and returns the bound address plus a stop function.
+func Serve(addr string) (string, func() error, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any { return Default.Snapshot() }))
+	})
+	Default.Enable()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Default.Snapshot()) //nolint:errcheck // best-effort debug endpoint
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Shutdown returns the real error
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+	return ln.Addr().String(), stop, nil
+}

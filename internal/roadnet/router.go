@@ -5,8 +5,23 @@ import (
 	"container/list"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
+)
+
+// Router telemetry (internal/obs). Handles are interned once; every
+// update is a no-op single atomic load until the Default registry is
+// enabled.
+var (
+	obsCacheHits      = obs.Default.Counter("router.cache.hits")
+	obsCacheMisses    = obs.Default.Counter("router.cache.misses")
+	obsCacheEvictions = obs.Default.Counter("router.cache.evictions")
+	obsCacheSize      = obs.Default.Gauge("router.cache.size")
+	obsRoutes         = obs.Default.Counter("router.routes")
+	obsRouteMisses    = obs.Default.Counter("router.routes.unreachable")
+	obsDijkstraS      = obs.Default.Histogram("router.dijkstra.seconds", obs.LatencyBuckets)
 )
 
 // PointOnRoad is a position expressed as a fraction along a segment —
@@ -126,6 +141,7 @@ func (r *Router) NodePath(from, to NodeID) ([]SegmentID, float64, bool) {
 // segment with b ahead of a. ok=false means b is unreachable within the
 // search bound.
 func (r *Router) RouteBetween(a, b PointOnRoad) (Route, bool) {
+	obsRoutes.Inc()
 	segA, segB := r.net.Segment(a.Seg), r.net.Segment(b.Seg)
 	if a.Seg == b.Seg && b.Frac >= a.Frac {
 		return Route{
@@ -143,6 +159,7 @@ func (r *Router) RouteBetween(a, b PointOnRoad) (Route, bool) {
 	}
 	mid, d, ok := r.NodePath(segA.To, segB.From)
 	if !ok {
+		obsRouteMisses.Inc()
 		return Route{}, false
 	}
 	segs := make([]SegmentID, 0, len(mid)+2)
@@ -203,11 +220,21 @@ func (r *Router) tree(from NodeID) *ssspResult {
 	if t, ok := r.cache[from]; ok {
 		r.eviction.MoveToFront(t.elem)
 		r.mu.Unlock()
+		obsCacheHits.Inc()
 		return t
 	}
 	r.mu.Unlock()
+	obsCacheMisses.Inc()
 
+	var start time.Time
+	timed := obs.Default.Enabled()
+	if timed {
+		start = time.Now()
+	}
 	t := r.dijkstra(from)
+	if timed {
+		obsDijkstraS.ObserveSince(start)
+	}
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -222,7 +249,9 @@ func (r *Router) tree(from NodeID) *ssspResult {
 		back := r.eviction.Back()
 		r.eviction.Remove(back)
 		delete(r.cache, back.Value.(NodeID))
+		obsCacheEvictions.Inc()
 	}
+	obsCacheSize.Set(int64(len(r.cache)))
 	return t
 }
 

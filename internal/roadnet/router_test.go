@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 )
 
 func segBetween(t testing.TB, n *Network, from, to NodeID) SegmentID {
@@ -285,5 +286,31 @@ func TestNetworkRoundTrip(t *testing.T) {
 	}
 	if _, err := Read(bytes.NewBufferString("{bad json")); err == nil {
 		t.Error("bad JSON did not error")
+	}
+}
+
+func TestRouterCacheCounters(t *testing.T) {
+	obs.Default.Enable()
+	t.Cleanup(obs.Default.Disable)
+	hits := obs.Default.Counter("router.cache.hits")
+	misses := obs.Default.Counter("router.cache.misses")
+	evictions := obs.Default.Counter("router.cache.evictions")
+	h0, m0, e0 := hits.Value(), misses.Value(), evictions.Value()
+
+	n := buildGrid(t, 6, 6)
+	r := NewRouter(n, WithCacheSize(1))
+	r.NodeDist(0, 7)  // miss
+	r.NodeDist(0, 14) // hit (same source tree)
+	r.NodeDist(1, 7)  // miss, evicts source 0
+	r.NodeDist(0, 7)  // miss again after eviction
+
+	if got := misses.Value() - m0; got != 3 {
+		t.Errorf("misses delta = %d, want 3", got)
+	}
+	if got := hits.Value() - h0; got != 1 {
+		t.Errorf("hits delta = %d, want 1", got)
+	}
+	if got := evictions.Value() - e0; got < 2 {
+		t.Errorf("evictions delta = %d, want >= 2", got)
 	}
 }
