@@ -6,6 +6,8 @@
 //	lhmm-bench -exp table2                 # one experiment
 //	lhmm-bench -exp all -scale 0.05       # the whole evaluation section
 //	lhmm-bench -exp table2 -json          # machine-readable results
+//	lhmm-bench -exp table2 -json -compare BENCH_baseline.json
+//	                                      # diff against a committed run
 //
 // Experiments: table1 table2 table3 fig7a fig7b fig8 fig9 fig10a
 // fig10b fig11. Results print to stdout; -out duplicates them to a
@@ -14,7 +16,11 @@
 // rendered text, and the full observability snapshot (router cache hit
 // rate, shortcut activations, Viterbi breaks, latency histograms) so
 // successive runs can be diffed for perf trajectory — BENCH_*.json
-// files in the repo root are committed runs of this mode.
+// files in the repo root are committed runs of this mode. -compare
+// diffs the finished run against such a committed document (wall-clock
+// and counter deltas) and exits nonzero when the counter schema
+// drifted. -parallel N fans each Viterbi step's transition batch out
+// over N workers; matched output is identical for any value.
 //
 // Observability: -metrics dumps the telemetry snapshot on exit,
 // -log-level enables structured logs on stderr, and -debug-addr serves
@@ -27,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	lhmm "repro"
@@ -66,6 +74,8 @@ func main() {
 	trips := flag.Int("trips", 220, "trips per dataset")
 	out := flag.String("out", "", "also write results to this file")
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON document instead of text")
+	compare := flag.String("compare", "", "baseline lhmm-bench JSON file to diff this run against (exits nonzero on counter-schema drift)")
+	parallel := flag.Int("parallel", 0, "transition fan-out workers per match (<=1 keeps matching sequential; matched output is identical)")
 	of := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -80,9 +90,9 @@ func main() {
 		}
 	}()
 
-	if *asJSON {
-		// JSON runs measure from a clean telemetry slate so committed
-		// BENCH_*.json files diff as true per-run deltas.
+	if *asJSON || *compare != "" {
+		// JSON and compare runs measure from a clean telemetry slate so
+		// committed BENCH_*.json files diff as true per-run deltas.
 		obs.Default.Enable()
 		obs.Default.Reset()
 	}
@@ -102,8 +112,12 @@ func main() {
 		}
 	}
 
-	hz := lhmm.NewSuite(lhmm.DefaultSuite("hangzhou", *scale, *trips))
-	xm := lhmm.NewSuite(lhmm.DefaultSuite("xiamen", *scale, *trips))
+	hzCfg := lhmm.DefaultSuite("hangzhou", *scale, *trips)
+	xmCfg := lhmm.DefaultSuite("xiamen", *scale, *trips)
+	hzCfg.LHMM.Parallel = *parallel
+	xmCfg.LHMM.Parallel = *parallel
+	hz := lhmm.NewSuite(hzCfg)
+	xm := lhmm.NewSuite(xmCfg)
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -133,18 +147,39 @@ func main() {
 		}
 	}
 
+	var doc *output
+	if *asJSON || *compare != "" {
+		doc = buildDoc(results, *scale, *trips, time.Since(runStart).Seconds())
+	}
 	if *asJSON {
-		if err := writeJSON(w, results, *scale, *trips, time.Since(runStart).Seconds()); err != nil {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "lhmm-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *compare != "" {
+		base, err := loadBaseline(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lhmm-bench:", err)
+			os.Exit(1)
+		}
+		cw := io.Writer(os.Stdout)
+		if *asJSON && *out == "" {
+			cw = os.Stderr // JSON owns stdout
+		}
+		if err := compareRuns(cw, base, doc); err != nil {
 			fmt.Fprintln(os.Stderr, "lhmm-bench:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-// writeJSON assembles and emits the lhmm-bench/v1 document.
-func writeJSON(w io.Writer, results []experiment, scale float64, trips int, totalS float64) error {
+// buildDoc assembles the lhmm-bench/v1 document for this run.
+func buildDoc(results []experiment, scale float64, trips int, totalS float64) *output {
 	snap := obs.Default.Snapshot()
-	doc := output{
+	return &output{
 		Schema:              "lhmm-bench/v1",
 		Timestamp:           time.Now().UTC().Format(time.RFC3339),
 		Scale:               scale,
@@ -156,9 +191,82 @@ func writeJSON(w io.Writer, results []experiment, scale float64, trips int, tota
 		ViterbiBreaks:       snap.Counters["hmm.viterbi.breaks"],
 		Obs:                 snap,
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+}
+
+// loadBaseline reads a committed lhmm-bench JSON document.
+func loadBaseline(path string) (*output, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc output
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &doc, nil
+}
+
+// compareRuns prints per-experiment wall-clock and counter deltas of
+// this run against a baseline document. It returns an error on schema
+// mismatch or counter-schema drift — a baseline counter whose name is
+// no longer registered in this binary (zero-valued counters still
+// register, so small-scale runs don't false-positive).
+func compareRuns(w io.Writer, base, fresh *output) error {
+	if base.Schema != fresh.Schema {
+		return fmt.Errorf("schema mismatch: baseline %q vs this run %q", base.Schema, fresh.Schema)
+	}
+	fmt.Fprintf(w, "== compare vs baseline (baseline scale %g / %d trips; run scale %g / %d trips) ==\n",
+		base.Scale, base.Trips, fresh.Scale, fresh.Trips)
+	if base.Scale != fresh.Scale || base.Trips != fresh.Trips {
+		fmt.Fprintln(w, "note: run sizes differ; deltas reflect scale, not performance")
+	}
+	baseExp := make(map[string]experiment, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseExp[e.ID] = e
+	}
+	for _, e := range fresh.Experiments {
+		be, ok := baseExp[e.ID]
+		if !ok {
+			fmt.Fprintf(w, "  %-8s %9s -> %8.2fs\n", e.ID, "(new)", e.WallS)
+			continue
+		}
+		fmt.Fprintf(w, "  %-8s %8.2fs -> %8.2fs  %s\n", e.ID, be.WallS, e.WallS, pctDelta(be.WallS, e.WallS))
+	}
+	fmt.Fprintf(w, "  %-8s %8.2fs -> %8.2fs  %s\n", "total",
+		base.TotalWallS, fresh.TotalWallS, pctDelta(base.TotalWallS, fresh.TotalWallS))
+	names := make([]string, 0, len(base.Obs.Counters))
+	for name := range base.Obs.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	registered := make(map[string]bool)
+	for _, name := range obs.Default.CounterNames() {
+		registered[name] = true
+	}
+	var missing []string
+	for _, name := range names {
+		if !registered[name] {
+			missing = append(missing, name)
+			continue
+		}
+		bv, fv := base.Obs.Counters[name], fresh.Obs.Counters[name]
+		if bv != fv {
+			fmt.Fprintf(w, "  %-36s %12d -> %12d  (%+d)\n", name, bv, fv, fv-bv)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("counter-schema drift: baseline counters no longer registered: %s",
+			strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// pctDelta renders the relative change, or nothing when the base is 0.
+func pctDelta(old, new float64) string {
+	if old == 0 {
+		return ""
+	}
+	return fmt.Sprintf("(%+.1f%%)", (new-old)/old*100)
 }
 
 // writeFig11Artifacts saves the case study as SVG and GeoJSON files

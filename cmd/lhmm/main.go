@@ -149,6 +149,7 @@ func cmdTrain(args []string) error {
 	k := fs.Int("k", 30, "candidates per point")
 	seed := fs.Int64("seed", 1, "training seed")
 	trace := fs.Bool("trace", false, "collect per-trajectory match traces during calibration")
+	parallel := fs.Int("parallel", 0, "transition fan-out workers per match (<=1 sequential; output identical)")
 	cleanup, err := parseWithObs(fs, args)
 	if err != nil {
 		return err
@@ -164,6 +165,7 @@ func cmdTrain(args []string) error {
 	cfg.K = *k
 	cfg.Seed = *seed
 	cfg.Trace = *trace
+	cfg.Parallel = *parallel
 	model, err := lhmm.Train(ds, cfg)
 	if err != nil {
 		return err
@@ -210,6 +212,7 @@ func cmdMatch(args []string) error {
 	seed := fs.Int64("seed", 1, "seed the model was trained with")
 	geojson := fs.String("geojson", "", "optional GeoJSON output file")
 	traceOut := fs.String("trace", "", "write the per-trajectory match trace as JSON ('-' for stdout)")
+	parallel := fs.Int("parallel", 0, "transition fan-out workers per match (<=1 sequential; output identical)")
 	cleanup, err := parseWithObs(fs, args)
 	if err != nil {
 		return err
@@ -224,6 +227,7 @@ func cmdMatch(args []string) error {
 		return err
 	}
 	model.Cfg.Trace = *traceOut != ""
+	model.Cfg.Parallel = *parallel
 	tests := ds.TestTrips()
 	if *trip < 0 || *trip >= len(tests) {
 		return fmt.Errorf("trip index %d out of range (have %d test trips)", *trip, len(tests))
@@ -290,6 +294,7 @@ func cmdEval(args []string) error {
 	dim := fs.Int("dim", 32, "embedding dimension the model was trained with")
 	k := fs.Int("k", 30, "candidates per point")
 	seed := fs.Int64("seed", 1, "seed the model was trained with")
+	parallel := fs.Int("parallel", 0, "transition fan-out workers per match (<=1 sequential; output identical)")
 	cleanup, err := parseWithObs(fs, args)
 	if err != nil {
 		return err
@@ -315,6 +320,7 @@ func cmdEval(args []string) error {
 			if err != nil {
 				return err
 			}
+			model.Cfg.Parallel = *parallel
 			m = lhmm.AsMethod("LHMM", model)
 		} else {
 			m, err = methodByName(ds, name)

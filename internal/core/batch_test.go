@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/hmm"
+	"repro/internal/nn"
+)
+
+// The batched inference paths (obsScoreBatch, ScoreBatch,
+// SelfApplyAllWS-built context) must agree with the scalar reference
+// paths within 1e-12 — the scalar paths are what the seed shipped, so
+// this pins the perf rewrite to the original semantics.
+
+const batchTol = 1e-12
+
+// trainedModel trains one small model shared by the equivalence tests.
+func trainedModel(t *testing.T) (*Model, *session) {
+	t.Helper()
+	d := testDataset(t, 14)
+	m, err := Train(d, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := d.Trips[d.Test[0]]
+	if len(tr.Cell) < 3 {
+		t.Fatalf("test trip too short: %d points", len(tr.Cell))
+	}
+	sess := m.newSession(tr.Cell)
+	t.Cleanup(sess.release)
+	return m, sess
+}
+
+// TestContextMatchesPerPointAttention: the one-shot batched Eq. 6 pass
+// (SelfApplyAllWS) equals running the attention per point.
+func TestContextMatchesPerPointAttention(t *testing.T) {
+	m, sess := trainedModel(t)
+	for i := 0; i < len(sess.ct); i++ {
+		q := &nn.Mat{R: 1, C: sess.ptEmb.C, W: sess.ptEmb.Row(i)}
+		want, _ := m.ObsAtt.Apply(q, sess.ptEmb, sess.ptEmb)
+		got := sess.ctx.Row(i)
+		for j := range want.W {
+			if math.Abs(want.W[j]-got[j]) > batchTol {
+				t.Fatalf("point %d dim %d: ctx %v vs per-point %v", i, j, got[j], want.W[j])
+			}
+		}
+	}
+}
+
+// TestCandidatesMatchScalarObsScore: every candidate probability out of
+// the batched pool scoring equals the scalar obsScore re-normalized by
+// the cached pool softmax.
+func TestCandidatesMatchScalarObsScore(t *testing.T) {
+	m, sess := trainedModel(t)
+	for i := 0; i < len(sess.ct); i++ {
+		cands := sess.Candidates(sess.ct, i, m.Cfg.K)
+		if len(cands) == 0 {
+			t.Fatalf("point %d: no candidates", i)
+		}
+		for _, c := range cands {
+			sc := sess.obsScore(i, c.Seg, c.Dist)
+			want := math.Exp(sc-sess.obsMax[i]) / sess.obsZ[i]
+			if math.Abs(want-c.Obs) > batchTol {
+				t.Fatalf("point %d seg %d: batched Obs %v vs scalar %v", i, c.Seg, c.Obs, want)
+			}
+		}
+	}
+}
+
+// TestScoreBatchMatchesTransScore: the fused k×k transition batch
+// equals pairwise TransScore, with NaN exactly where the scalar path
+// reports unreachable.
+func TestScoreBatchMatchesTransScore(t *testing.T) {
+	m, sess := trainedModel(t)
+	for i := 1; i < len(sess.ct) && i <= 4; i++ {
+		from := sess.Candidates(sess.ct, i-1, m.Cfg.K)
+		to := sess.Candidates(sess.ct, i, m.Cfg.K)
+		out := make([]float64, len(from)*len(to))
+		sess.ScoreBatch(sess.ct, i, from, to, out)
+		for j := range from {
+			for kk := range to {
+				got := out[j*len(to)+kk]
+				want, ok := sess.TransScore(sess.ct, i, &from[j], &to[kk])
+				if !ok {
+					if !math.IsNaN(got) {
+						t.Fatalf("step %d pair (%d,%d): batch %v for unreachable pair", i, j, kk, got)
+					}
+					continue
+				}
+				if math.IsNaN(got) || math.Abs(want-got) > batchTol {
+					t.Fatalf("step %d pair (%d,%d): batch %v vs scalar %v", i, j, kk, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestScoreBatchParallelIdentical: worker count must not change a
+// single bit of the batch output (features are pair-indexed, roadProb
+// is deterministic, and the fused product is one shared matrix).
+func TestScoreBatchParallelIdentical(t *testing.T) {
+	m, sess := trainedModel(t)
+	i := 1
+	from := sess.Candidates(sess.ct, i-1, m.Cfg.K)
+	to := sess.Candidates(sess.ct, i, m.Cfg.K)
+	want := make([]float64, len(from)*len(to))
+	sess.ScoreBatch(sess.ct, i, from, to, want)
+	for _, workers := range []int{2, 3, 8} {
+		m.Cfg.Parallel = workers
+		got := make([]float64, len(want))
+		sess.ScoreBatch(sess.ct, i, from, to, got)
+		for p := range want {
+			if want[p] != got[p] && !(math.IsNaN(want[p]) && math.IsNaN(got[p])) {
+				t.Fatalf("workers=%d pair %d: %v vs %v", workers, p, got[p], want[p])
+			}
+		}
+	}
+	m.Cfg.Parallel = 0
+}
+
+// TestParallelMatchIdentical: full end-to-end matching with the
+// parallel fan-out returns the same result as sequential. Run under
+// -race this also validates the concurrent session/router caches.
+func TestParallelMatchIdentical(t *testing.T) {
+	d := testDataset(t, 14)
+	m, err := Train(d, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nTrips := len(d.Test)
+	if nTrips > 4 {
+		nTrips = 4
+	}
+	want := make([]*hmm.Result, nTrips)
+	for i := 0; i < nTrips; i++ {
+		res, err := m.Match(d.Trips[d.Test[i]].Cell)
+		if err != nil {
+			t.Fatalf("sequential match %d: %v", i, err)
+		}
+		want[i] = res
+	}
+	for _, workers := range []int{2, 4} {
+		m.Cfg.Parallel = workers
+		for i := 0; i < nTrips; i++ {
+			res, err := m.Match(d.Trips[d.Test[i]].Cell)
+			if err != nil {
+				t.Fatalf("parallel match %d: %v", i, err)
+			}
+			if !reflect.DeepEqual(res.Matched, want[i].Matched) {
+				t.Fatalf("workers=%d trip %d: Matched diverged", workers, i)
+			}
+			if !reflect.DeepEqual(res.Path, want[i].Path) {
+				t.Fatalf("workers=%d trip %d: Path diverged", workers, i)
+			}
+			if res.Score != want[i].Score {
+				t.Fatalf("workers=%d trip %d: Score %v vs %v", workers, i, res.Score, want[i].Score)
+			}
+		}
+	}
+	m.Cfg.Parallel = 0
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/hmm"
+	"repro/internal/nn"
+	"repro/internal/traj"
+)
+
+// Shared trained model for the micro-benchmarks: training dominates
+// setup, so do it once per `go test -bench` run.
+var (
+	benchOnce sync.Once
+	benchM    *Model
+	benchCT   traj.CellTrajectory
+)
+
+func benchModel(b *testing.B) (*Model, traj.CellTrajectory) {
+	benchOnce.Do(func() {
+		d := testDataset(b, 14)
+		m, err := Train(d, fastConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchM, benchCT = m, d.Trips[d.Test[0]].Cell
+	})
+	if benchM == nil {
+		b.Fatal("benchmark model failed to train")
+	}
+	return benchM, benchCT
+}
+
+// benchSession prepares a session with candidates for points 0 and 1 so
+// both observation and transition scoring have warm state.
+func benchSession(b *testing.B) (*session, []hmm.Candidate, []hmm.Candidate) {
+	m, ct := benchModel(b)
+	sess := m.newSession(ct)
+	b.Cleanup(sess.release)
+	from := sess.Candidates(ct, 0, m.Cfg.K)
+	to := sess.Candidates(ct, 1, m.Cfg.K)
+	return sess, from, to
+}
+
+// BenchmarkObsScoreScalar is the seed's per-candidate observation
+// scoring path (allocates per call: feature rows + MLP activations).
+func BenchmarkObsScoreScalar(b *testing.B) {
+	sess, _, to := benchSession(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range to {
+			sess.obsScore(1, to[j].Seg, to[j].Dist)
+		}
+	}
+}
+
+// BenchmarkObsScoreBatch is the batched pool scoring: two MLP batches
+// through pooled workspace scratch, zero steady-state allocations.
+func BenchmarkObsScoreBatch(b *testing.B) {
+	sess, _, to := benchSession(b)
+	prev := nn.SetMatMulWorkers(1)
+	defer nn.SetMatMulWorkers(prev)
+	sess.ws.Reset()
+	scores := sess.ws.TakeVec(len(to))
+	sess.obsScoreBatch(sess.ws, 1, to, scores) // warm slabs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.ws.Reset()
+		scores := sess.ws.TakeVec(len(to))
+		sess.obsScoreBatch(sess.ws, 1, to, scores)
+	}
+}
+
+// BenchmarkTransScoreScalar is the seed's pairwise transition scoring
+// over one k×k Viterbi step.
+func BenchmarkTransScoreScalar(b *testing.B) {
+	sess, from, to := benchSession(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range from {
+			for kk := range to {
+				sess.TransScore(sess.ct, 1, &from[j], &to[kk])
+			}
+		}
+	}
+}
+
+// BenchmarkTransScoreBatch is the fused k×k transition batch for the
+// same step.
+func BenchmarkTransScoreBatch(b *testing.B) {
+	sess, from, to := benchSession(b)
+	prev := nn.SetMatMulWorkers(1)
+	defer nn.SetMatMulWorkers(prev)
+	out := make([]float64, len(from)*len(to))
+	sess.ScoreBatch(sess.ct, 1, from, to, out) // warm caches + slabs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.ScoreBatch(sess.ct, 1, from, to, out)
+	}
+}
+
+// BenchmarkMatch is the end-to-end single-trajectory match.
+func BenchmarkMatch(b *testing.B) {
+	m, ct := benchModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Match(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -78,6 +78,14 @@ type Config struct {
 	// result (candidate stats, Viterbi breaks, stage wall-clock).
 	// Off by default; costs a few clock reads per match when on.
 	Trace bool
+
+	// Parallel bounds the worker pool the per-step transition fan-out
+	// (route construction + explicit features) runs on during
+	// inference. <=1 (the default) keeps matching single-threaded.
+	// Matched output is identical for any value: parallel workers only
+	// fill a pair-indexed feature table, and the Viterbi recurrence
+	// stays sequential.
+	Parallel int
 }
 
 // DefaultConfig returns the configuration used by the experiment

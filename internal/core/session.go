@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/hmm"
@@ -20,19 +22,44 @@ var (
 	obsCoreMatchS    = obs.Default.Histogram("core.match.seconds", obs.LatencyBuckets)
 	obsRoadProbHits  = obs.Default.Counter("core.roadprob.cache.hits")
 	obsRoadProbMiss  = obs.Default.Counter("core.roadprob.cache.misses")
+	obsObsBatched    = obs.Default.Counter("core.obs.batched.rows")
+	obsTransBatched  = obs.Default.Counter("core.trans.batched.rows")
 )
 
 // session holds the per-trajectory inference state: point embeddings,
 // context-aware point representations (Eq. 6), and a cache of per-road
 // trajectory relevance scores (Eq. 10). It implements both
-// hmm.ObservationModel and hmm.TransitionModel.
+// hmm.ObservationModel and hmm.TransitionModel (including the batched
+// hmm.TransitionBatchModel fast path).
+//
+// All learned scoring is batch-oriented: the per-point candidate pool
+// is scored through the Eq. 7/8 MLPs as one pool×d matrix product, and
+// each Viterbi step's k×k transition fan-out is fused through the
+// Eq. 12 MLP in a single product (see ScoreBatch). The scalar paths are
+// kept for shortcut pseudo-candidates and as the equivalence reference;
+// batched and scalar scoring agree bit-for-bit on the MLP stages
+// because row-at-a-time and batched matrix products accumulate each
+// output row in the same order.
 type session struct {
 	m  *Model
 	ct traj.CellTrajectory
 
-	ptEmb *nn.Mat   // n×d raw point embeddings
-	ctx   []*nn.Mat // per point: 1×d context-aware representation
-	roadP map[roadnet.SegmentID]float64
+	// ws is the match-goroutine scratch workspace (from the shared nn
+	// pool, returned by release). Parallel transition workers take
+	// their own.
+	ws *nn.Workspace
+
+	ptEmb *nn.Mat // n×d raw point embeddings
+	ctx   *nn.Mat // n×d context-aware representations (Eq. 6)
+
+	// transKeys caches the key-side attention state of Eq. 9 over the
+	// trajectory's point embeddings, shared by every roadProb query.
+	transKeys *nn.AttKeys
+
+	// roadP caches Eq. 10 per segment. roadMu guards it when the
+	// transition fan-out runs on multiple workers.
+	roadMu sync.Mutex
+	roadP  map[roadnet.SegmentID]float64
 
 	// obsZ caches, per point, the softmax denominator over the
 	// candidate pool (Eq. 7 normalizes P_O across the candidate roads
@@ -44,28 +71,55 @@ type session struct {
 // newSession precomputes the trajectory-level state. The model must
 // have frozen embeddings (RefreshEmbeddings).
 func (m *Model) newSession(ct traj.CellTrajectory) *session {
+	n, d := len(ct), m.Cfg.Dim
 	s := &session{
 		m:      m,
 		ct:     ct,
-		ptEmb:  nn.NewMat(len(ct), m.Cfg.Dim),
-		ctx:    make([]*nn.Mat, len(ct)),
+		ws:     nn.GetWorkspace(),
+		ptEmb:  nn.NewMat(n, d),
+		ctx:    nn.NewMat(n, d),
 		roadP:  make(map[roadnet.SegmentID]float64),
-		obsZ:   make([]float64, len(ct)),
-		obsMax: make([]float64, len(ct)),
+		obsZ:   make([]float64, n),
+		obsMax: make([]float64, n),
 	}
 	for i, cp := range ct {
 		copy(s.ptEmb.Row(i), m.towerEmb(cp.Tower))
 	}
-	for i := range ct {
-		q := &nn.Mat{R: 1, C: m.Cfg.Dim, W: s.ptEmb.Row(i)}
-		out, _ := m.ObsAtt.Apply(q, s.ptEmb, s.ptEmb)
-		s.ctx[i] = out
+	// Eq. 6 for every point in one batched self-attention pass.
+	s.ws.Reset()
+	copy(s.ctx.W, m.ObsAtt.SelfApplyAllWS(s.ws, s.ptEmb).W)
+	s.ws.Reset()
+	if !m.Cfg.DisableImplicitTrans {
+		s.transKeys = m.TransAtt.PrecomputeKeys(s.ptEmb)
 	}
 	return s
 }
 
-// implicitObs evaluates Eq. 7: the probability that segment sid is the
-// true location of point i given the context-aware representation.
+// release returns the session's pooled resources. The session must not
+// be used afterwards.
+func (s *session) release() {
+	if s.ws != nil {
+		nn.PutWorkspace(s.ws)
+		s.ws = nil
+	}
+}
+
+// softmaxP1 is the positive-class probability of a 2-logit softmax,
+// arithmetically identical to nn.Softmax(logits)[1].
+func softmaxP1(l0, l1 float64) float64 {
+	mx := l0
+	if l1 > mx {
+		mx = l1
+	}
+	e0 := math.Exp(l0 - mx)
+	e1 := math.Exp(l1 - mx)
+	return e1 / (e0 + e1)
+}
+
+// implicitObs evaluates Eq. 7 for one candidate: the probability that
+// segment sid is the true location of point i given the context-aware
+// representation. Scalar reference path; Candidates scores whole pools
+// through implicitObsBatch instead.
 func (s *session) implicitObs(i int, sid roadnet.SegmentID) float64 {
 	if s.m.Cfg.DisableImplicitObs {
 		return 0.5
@@ -73,18 +127,18 @@ func (s *session) implicitObs(i int, sid roadnet.SegmentID) float64 {
 	d := s.m.Cfg.Dim
 	feat := nn.NewMat(1, 2*d)
 	copy(feat.W[:d], s.m.segEmb(sid))
-	copy(feat.W[d:], s.ctx[i].W)
+	copy(feat.W[d:], s.ctx.Row(i))
 	logits := s.m.ObsMLP.Apply(feat)
-	p := nn.Softmax(logits.W)
-	return p[1]
+	return softmaxP1(logits.W[0], logits.W[1])
 }
 
-// obsScore evaluates the fused point-road log-odds (Eq. 8's MLP). The
-// explicit distance feature is presented as a calibrated Gaussian (the
-// paper batch-normalizes it; a Gaussian of the calibrated scale
-// carries the same information in a shape the small fuse MLP can use
-// directly, so the classical Eq. 2 behaviour is the learner's starting
-// point rather than something it must rediscover).
+// obsScore evaluates the fused point-road log-odds (Eq. 8's MLP) for
+// one candidate. The explicit distance feature is presented as a
+// calibrated Gaussian (the paper batch-normalizes it; a Gaussian of the
+// calibrated scale carries the same information in a shape the small
+// fuse MLP can use directly, so the classical Eq. 2 behaviour is the
+// learner's starting point rather than something it must rediscover).
+// Scalar reference path, used for shortcut pseudo-candidates.
 func (s *session) obsScore(i int, sid roadnet.SegmentID, dist float64) float64 {
 	feat := nn.RowVec(
 		s.implicitObs(i, sid),
@@ -95,41 +149,93 @@ func (s *session) obsScore(i int, sid roadnet.SegmentID, dist float64) float64 {
 	return logits.W[1] - logits.W[0]
 }
 
+// obsScoreBatch fills scores with the fused Eq. 8 log-odds of every
+// candidate of point i in two batched MLP applications: one P×2d
+// product through the Eq. 7 MLP and one P×3 product through the fuse
+// MLP, instead of P single-row calls. ws scratch; scores caller-owned.
+func (s *session) obsScoreBatch(ws *nn.Workspace, i int, cands []hmm.Candidate, scores []float64) {
+	p := len(cands)
+	d := s.m.Cfg.Dim
+	imp := ws.TakeVec(p)
+	if s.m.Cfg.DisableImplicitObs {
+		for j := range imp {
+			imp[j] = 0.5
+		}
+	} else {
+		feat := ws.Take(p, 2*d)
+		ctxRow := s.ctx.Row(i)
+		for j := range cands {
+			row := feat.Row(j)
+			copy(row[:d], s.m.segEmb(cands[j].Seg))
+			copy(row[d:], ctxRow)
+		}
+		logits := s.m.ObsMLP.ApplyWS(ws, feat) // p×2
+		for j := 0; j < p; j++ {
+			lr := logits.Row(j)
+			imp[j] = softmaxP1(lr[0], lr[1])
+		}
+	}
+	fuse := ws.Take(p, 3)
+	tower := s.ct[i].Tower
+	for j := range cands {
+		row := fuse.Row(j)
+		row[0] = imp[j]
+		row[1] = s.m.gaussDist(cands[j].Dist)
+		row[2] = s.m.Graph.CoOccurrenceNorm(tower, cands[j].Seg)
+	}
+	logits := s.m.ObsFuse.ApplyWS(ws, fuse) // p×2
+	for j := 0; j < p; j++ {
+		lr := logits.Row(j)
+		scores[j] = lr[1] - lr[0]
+	}
+	obsObsBatched.Add(int64(p))
+}
+
 // roadProb evaluates Eq. 10 with caching: the likelihood that segment
-// sid belongs to this trajectory.
-func (s *session) roadProb(sid roadnet.SegmentID) float64 {
+// sid belongs to this trajectory. Safe for concurrent use (the cache is
+// mutex-guarded; the underlying inference is deterministic, so a rare
+// duplicated computation stores the same value). ws supplies scratch
+// and is Reset here — callers must not hold live ws buffers across it.
+func (s *session) roadProb(ws *nn.Workspace, sid roadnet.SegmentID) float64 {
+	s.roadMu.Lock()
 	if p, ok := s.roadP[sid]; ok {
+		s.roadMu.Unlock()
 		obsRoadProbHits.Inc()
 		return p
 	}
+	s.roadMu.Unlock()
 	obsRoadProbMiss.Inc()
 	d := s.m.Cfg.Dim
+	ws.Reset()
 	segRow := &nn.Mat{R: 1, C: d, W: s.m.segEmb(sid)}
-	xl, _ := s.m.TransAtt.Apply(segRow, s.ptEmb, s.ptEmb)
-	feat := nn.NewMat(1, 2*d)
+	xl, _ := s.transKeys.QueryWS(ws, segRow)
+	feat := ws.Take(1, 2*d)
 	copy(feat.W[:d], segRow.W)
 	copy(feat.W[d:], xl.W)
-	logits := s.m.TransMLP.Apply(feat)
-	p := nn.Softmax(logits.W)[1]
+	logits := s.m.TransMLP.ApplyWS(ws, feat)
+	p := softmaxP1(logits.W[0], logits.W[1])
+	s.roadMu.Lock()
 	s.roadP[sid] = p
+	s.roadMu.Unlock()
 	return p
 }
 
 // transFeatures assembles the Eq. 12 input for a movement into point i
 // along the given route: [implicit route relevance (Eq. 11), length
-// similarity, turn similarity].
-func (s *session) transFeatures(i int, route roadnet.Route) [3]float64 {
+// similarity, turn similarity]. straight is the hoisted straight-line
+// distance between points i-1 and i (identical for every pair of the
+// step's fan-out).
+func (s *session) transFeatures(ws *nn.Workspace, i int, route roadnet.Route, straight float64) [3]float64 {
 	var pRoute float64
 	if s.m.Cfg.DisableImplicitTrans {
 		pRoute = 0.5
 	} else {
 		var sum float64
 		for _, sid := range route.Segs {
-			sum += s.roadProb(sid)
+			sum += s.roadProb(ws, sid)
 		}
 		pRoute = sum / float64(len(route.Segs))
 	}
-	straight := s.ct[i-1].P.Dist(s.ct[i].P)
 	lenSim := math.Exp(-math.Abs(straight-route.Dist) / 500)
 	var turn float64
 	for j := 1; j < len(route.Segs); j++ {
@@ -184,18 +290,20 @@ func (m *Model) candidatePool(ct traj.CellTrajectory, i int) []roadnet.SegmentID
 // candidates) — with the nearest third by geometric distance always
 // retained. The distance floor keeps the physical prior intact when
 // the learned ranking is uncertain (the paper's P_O likewise folds the
-// explicit distance feature into its ranking, §IV-C).
+// explicit distance feature into its ranking, §IV-C). The whole pool is
+// scored as one batch (obsScoreBatch).
 func (s *session) Candidates(ct traj.CellTrajectory, i, k int) []hmm.Candidate {
 	pool := s.m.candidatePool(s.ct, i)
 	cands := make([]hmm.Candidate, 0, len(pool))
-	scores := make([]float64, 0, len(pool))
 	for _, sid := range pool {
 		c := hmm.Candidate{Seg: sid}
 		c.Proj, c.Frac = s.m.Net.Project(sid, s.ct[i].P)
 		c.Dist = c.Proj.Dist(s.ct[i].P)
-		scores = append(scores, s.obsScore(i, sid, c.Dist))
 		cands = append(cands, c)
 	}
+	s.ws.Reset()
+	scores := s.ws.TakeVec(len(cands))
+	s.obsScoreBatch(s.ws, i, cands, scores)
 	// Across-pool softmax with cached normalizer so shortcut
 	// pseudo-candidates score consistently later.
 	mx := scores[0]
@@ -262,28 +370,116 @@ func (s *session) Score(ct traj.CellTrajectory, i int, c *hmm.Candidate) float64
 	return math.Exp(sc-s.obsMax[i]) / s.obsZ[i]
 }
 
-// Score implements hmm.TransitionModel: the learned transition
-// probability of Eq. 12.
+// TransScore implements hmm.TransitionModel: the learned transition
+// probability of Eq. 12. Scalar reference path, used by the shortcut
+// pass; the Viterbi fan-out goes through ScoreBatch.
 func (s *session) TransScore(ct traj.CellTrajectory, i int, from, to *hmm.Candidate) (float64, bool) {
 	route, ok := s.m.Router.RouteBetween(from.Pos(), to.Pos())
 	if !ok || len(route.Segs) == 0 {
 		return 0, false
 	}
-	f := s.transFeatures(i, route)
+	straight := s.ct[i-1].P.Dist(s.ct[i].P)
+	f := s.transFeatures(s.ws, i, route, straight)
 	logits := s.m.TransFuse.Apply(nn.RowVec(f[0], f[1], f[2]))
-	p := nn.Softmax(logits.W)[1]
+	p := softmaxP1(logits.W[0], logits.W[1])
 	if g := s.m.transGamma.W.W[0]; g != 1 {
 		p = math.Pow(p, g)
 	}
 	return p, true
 }
 
+// ScoreBatch implements hmm.TransitionBatchModel: the whole k×k
+// transition fan-out of one Viterbi step in a single fused-MLP batch.
+// Route construction and explicit-feature assembly run on
+// Cfg.Parallel workers (each with its own scratch workspace; the
+// router's SSSP cache and the session's road-probability cache are
+// concurrency-safe), then one (k·k)×3 matrix product through the
+// Eq. 12 fuse MLP scores every reachable pair at once. The per-step
+// straight-line distance is hoisted out of the pair loop. Results are
+// identical to pairwise TransScore regardless of worker count: feature
+// rows are pair-indexed and the fused product is row-independent.
+func (s *session) ScoreBatch(ct traj.CellTrajectory, i int, from, to []hmm.Candidate, out []float64) {
+	nFrom, nTo := len(from), len(to)
+	nPairs := nFrom * nTo
+	straight := s.ct[i-1].P.Dist(s.ct[i].P)
+	s.ws.Reset()
+	feat := s.ws.Take(nPairs, 3)
+
+	// Phase 1: routes + explicit features per pair, fanned out over
+	// workers. out doubles as the reachability mask (NaN = unreachable).
+	scorePair := func(ws *nn.Workspace, p int) {
+		j, kk := p/nTo, p%nTo
+		route, ok := s.m.Router.RouteBetween(from[j].Pos(), to[kk].Pos())
+		row := feat.Row(p)
+		if !ok || len(route.Segs) == 0 {
+			out[p] = math.NaN()
+			row[0], row[1], row[2] = 0, 0, 0
+			return
+		}
+		f := s.transFeatures(ws, i, route, straight)
+		row[0], row[1], row[2] = f[0], f[1], f[2]
+		out[p] = 0
+	}
+	workers := s.m.Cfg.Parallel
+	if workers > nPairs {
+		workers = nPairs
+	}
+	if workers <= 1 {
+		ws := nn.GetWorkspace()
+		for p := 0; p < nPairs; p++ {
+			scorePair(ws, p)
+		}
+		nn.PutWorkspace(ws)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ws := nn.GetWorkspace()
+				defer nn.PutWorkspace(ws)
+				for {
+					p := int(next.Add(1)) - 1
+					if p >= nPairs {
+						return
+					}
+					scorePair(ws, p)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Phase 2: one batched product through the fuse MLP.
+	logits := s.m.TransFuse.ApplyWS(s.ws, feat) // nPairs×2
+	g := s.m.transGamma.W.W[0]
+	for p := 0; p < nPairs; p++ {
+		if math.IsNaN(out[p]) {
+			continue
+		}
+		lr := logits.Row(p)
+		pr := softmaxP1(lr[0], lr[1])
+		if g != 1 {
+			pr = math.Pow(pr, g)
+		}
+		out[p] = pr
+	}
+	obsTransBatched.Add(int64(nPairs))
+}
+
 // transAdapter exposes the session's transition scoring under the
-// hmm.TransitionModel method name.
+// hmm.TransitionModel method names (the session's own Score is taken by
+// hmm.ObservationModel).
 type transAdapter struct{ s *session }
 
 func (t transAdapter) Score(ct traj.CellTrajectory, i int, from, to *hmm.Candidate) (float64, bool) {
 	return t.s.TransScore(ct, i, from, to)
+}
+
+// ScoreBatch forwards the batched fast path (hmm.TransitionBatchModel).
+func (t transAdapter) ScoreBatch(ct traj.CellTrajectory, i int, from, to []hmm.Candidate, out []float64) {
+	t.s.ScoreBatch(ct, i, from, to, out)
 }
 
 // Match map-matches one cellular trajectory with the trained model.
@@ -302,12 +498,18 @@ func (m *Model) Match(ct traj.CellTrajectory) (*hmm.Result, error) {
 		defer func() { obsCoreMatchS.ObserveSince(start) }()
 	}
 	sess := m.newSession(ct)
+	defer sess.release()
 	matcher := &hmm.Matcher{
 		Net:    m.Net,
 		Router: m.Router,
 		Obs:    sess,
 		Trans:  transAdapter{sess},
-		Cfg:    hmm.Config{K: m.Cfg.K, Shortcuts: m.Cfg.Shortcuts, Trace: m.Cfg.Trace},
+		Cfg: hmm.Config{
+			K:         m.Cfg.K,
+			Shortcuts: m.Cfg.Shortcuts,
+			Trace:     m.Cfg.Trace,
+			Parallel:  m.Cfg.Parallel,
+		},
 	}
 	res, err := matcher.Match(ct)
 	if err != nil {

@@ -437,6 +437,7 @@ func (m *Model) trainFuse(samples []*tripSample, rng *rand.Rand) error {
 				lossN++
 				opt.Step(transParams)
 			}
+			sess.release()
 		}
 		meanLoss := math.NaN()
 		if lossN > 0 {
@@ -533,7 +534,8 @@ func (m *Model) transFuseExamples(s *tripSample, sess *session, rng *rand.Rand) 
 			}
 		}
 		ratio := float64(onPath) / float64(len(route.Segs))
-		exs = append(exs, ex{f: sess.transFeatures(i, route), ratio: ratio})
+		straight := s.tr.Cell[i-1].P.Dist(s.tr.Cell[i].P)
+		exs = append(exs, ex{f: sess.transFeatures(sess.ws, i, route, straight), ratio: ratio})
 	}
 	candK := m.Cfg.K / 3
 	if candK < 4 {

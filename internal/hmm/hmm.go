@@ -8,6 +8,8 @@ package hmm
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
@@ -70,6 +72,20 @@ type TransitionModel interface {
 	Score(ct traj.CellTrajectory, i int, from, to *Candidate) (float64, bool)
 }
 
+// TransitionBatchModel is an optional fast path a TransitionModel may
+// implement: score the whole |from|×|to| transition fan-out of one
+// Viterbi step in a single call, so implementations can batch their
+// per-pair inference (one k²×d matrix product instead of k² row
+// products) and parallelize route construction internally. The matcher
+// prefers it over pairwise Score when present; both must return the
+// same probabilities.
+type TransitionBatchModel interface {
+	// ScoreBatch fills out[j*len(to)+kk] with P_T(from[j] → to[kk]) for
+	// movement into point i, or NaN where the movement is impossible.
+	// out has length len(from)*len(to).
+	ScoreBatch(ct traj.CellTrajectory, i int, from, to []Candidate, out []float64)
+}
+
 // Result is the output of Viterbi path-finding.
 type Result struct {
 	// Matched holds the chosen candidate per point. Points skipped via
@@ -122,6 +138,14 @@ type Config struct {
 	// (per-point candidate and score stats, break events, stage
 	// wall-clock) at the cost of a few clock reads per stage.
 	Trace bool
+	// Parallel bounds the worker pool the per-step transition fan-out
+	// runs on when the transition model only supports pairwise Score
+	// (batch models parallelize internally). <=1 keeps the fan-out on
+	// the calling goroutine. Values >1 require Trans.Score (and the
+	// router behind it) to be safe for concurrent use; the matched
+	// output is identical either way because the Viterbi recurrence
+	// itself always runs sequentially over the memoized step table.
+	Parallel int
 }
 
 // Matcher runs HMM path-finding with pluggable probability models —
@@ -211,6 +235,7 @@ func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 		pre[0][j] = -1
 	}
 	var nBreaks int64
+	var batchBuf []float64 // reused across steps by the batch-model path
 	for i := 1; i < n; i++ {
 		f[i] = make([]float64, len(layers[i]))
 		pre[i] = make([]int, len(layers[i]))
@@ -221,17 +246,21 @@ func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 				steps[i][j][kk] = math.NaN()
 			}
 		}
+		// Phase 1: score the whole transition fan-out into the step
+		// table — batched, parallel, or pairwise-sequential.
+		batchBuf = m.fillSteps(ct, i, layers[i-1], layers[i], steps[i], batchBuf)
+		// Phase 2: the Viterbi recurrence over the memoized table,
+		// always sequential so results do not depend on scheduling.
 		restarts, reachable := 0, 0
 		for kk := range layers[i] {
 			best, bestJ := math.Inf(-1), -1
 			for j := range layers[i-1] {
-				w, ok := m.stepScore(ct, i, &layers[i-1][j], &layers[i][kk])
-				if !ok {
+				w := steps[i][j][kk]
+				if math.IsNaN(w) {
 					nBlocked++
 					continue
 				}
 				reachable++
-				steps[i][j][kk] = w
 				if math.IsInf(f[i-1][j], -1) {
 					continue
 				}
@@ -344,6 +373,69 @@ func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 
 // nopStage is the shared no-op stage closer used when tracing is off.
 var nopStage = func() {}
+
+// fillSteps populates the step table for the transition into point i:
+// steps[j][kk] = accum(P_T(from[j]→to[kk]) · P_O(to[kk])), NaN where
+// unreachable. A TransitionBatchModel scores the whole fan-out in one
+// call; otherwise pairwise Score runs on Cfg.Parallel workers (each
+// owning a disjoint set of target columns, so no write contention and
+// scheduling cannot change the table). It returns the (possibly grown)
+// scratch buffer for reuse by the next step.
+func (m *Matcher) fillSteps(ct traj.CellTrajectory, i int, from, to []Candidate, steps [][]float64, buf []float64) []float64 {
+	if bm, ok := m.Trans.(TransitionBatchModel); ok {
+		nTo := len(to)
+		if need := len(from) * nTo; cap(buf) < need {
+			buf = make([]float64, need)
+		} else {
+			buf = buf[:need]
+		}
+		bm.ScoreBatch(ct, i, from, to, buf)
+		for j := range from {
+			row := steps[j]
+			base := j * nTo
+			for kk := range to {
+				if pt := buf[base+kk]; !math.IsNaN(pt) {
+					row[kk] = m.accum(pt * to[kk].Obs)
+				}
+			}
+		}
+		return buf
+	}
+	workers := m.Cfg.Parallel
+	if workers > len(to) {
+		workers = len(to)
+	}
+	scoreCol := func(kk int) {
+		for j := range from {
+			if w, ok := m.stepScore(ct, i, &from[j], &to[kk]); ok {
+				steps[j][kk] = w
+			}
+		}
+	}
+	if workers <= 1 {
+		for kk := range to {
+			scoreCol(kk)
+		}
+		return buf
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				kk := int(next.Add(1)) - 1
+				if kk >= len(to) {
+					return
+				}
+				scoreCol(kk)
+			}
+		}()
+	}
+	wg.Wait()
+	return buf
+}
 
 // stepScore is Eq. 13: W(a→b) = P_T(a→b) · P_O(b|x_i), accumulated
 // per the configured scoring.

@@ -5,18 +5,32 @@ import "math"
 // Forward-only (inference) implementations of the layers, operating on
 // plain matrices without tape bookkeeping. These are used on the hot
 // matching path where gradients are not needed.
+//
+// Every layer has two forms: Apply, which allocates its result, and an
+// allocation-free form (ApplyInto / ApplyWS) that writes into
+// caller-owned storage or a Workspace. The batched forms score a whole
+// k×d candidate batch in one MatMulInto instead of k single-row calls;
+// they are arithmetically identical to row-at-a-time application
+// because each output row accumulates in the same order either way.
 
 // Apply computes x·W + b without autodiff.
 func (l *Linear) Apply(x *Mat) *Mat {
 	out := NewMat(x.R, l.W.W.C)
-	MatMulInto(out, x, l.W.W)
-	for i := 0; i < out.R; i++ {
-		row := out.Row(i)
+	l.ApplyInto(out, x)
+	return out
+}
+
+// ApplyInto computes dst = x·W + b without allocating. dst must be
+// preallocated x.R×out and must not alias x.
+func (l *Linear) ApplyInto(dst, x *Mat) {
+	MatMulInto(dst, x, l.W.W)
+	bias := l.B.W.W
+	for i := 0; i < dst.R; i++ {
+		row := dst.Row(i)
 		for j := range row {
-			row[j] += l.B.W.W[j]
+			row[j] += bias[j]
 		}
 	}
-	return out
 }
 
 // Apply runs the MLP forward without autodiff.
@@ -26,6 +40,21 @@ func (m *MLP) Apply(x *Mat) *Mat {
 		if i < len(m.Layers)-1 {
 			applyActInPlace(m.Act, x)
 		}
+	}
+	return x
+}
+
+// ApplyWS runs the MLP forward using workspace scratch for every
+// intermediate and the output. The returned matrix is owned by ws and
+// is invalidated by ws.Reset.
+func (m *MLP) ApplyWS(ws *Workspace, x *Mat) *Mat {
+	for i, l := range m.Layers {
+		out := ws.Take(x.R, l.W.W.C)
+		l.ApplyInto(out, x)
+		if i < len(m.Layers)-1 {
+			applyActInPlace(m.Act, out)
+		}
+		x = out
 	}
 	return x
 }
@@ -52,33 +81,164 @@ func applyActInPlace(a Activation, x *Mat) {
 // Apply computes the attention read-out without autodiff: query 1×d,
 // keys/values n×d. It returns the 1×d output and the attention weights.
 func (a *Attention) Apply(query, keys, values *Mat) (*Mat, []float64) {
-	n := keys.R
-	q := NewMat(1, a.Wq.W.C)
-	MatMulInto(q, query, a.Wq.W)
-	k := NewMat(n, a.Wk.W.C)
-	MatMulInto(k, keys, a.Wk.W)
-	h := a.Wq.W.C
-	scores := make([]float64, n)
-	feat := NewMat(1, 2*h)
-	for i := 0; i < n; i++ {
-		copy(feat.W[:h], q.W)
-		copy(feat.W[h:], k.Row(i))
-		for j := range feat.W {
-			feat.W[j] = math.Tanh(feat.W[j])
-		}
-		var s float64
-		for j, v := range feat.W {
-			s += v * a.Wv.W.W[j]
-		}
-		scores[i] = s
-	}
-	w := Softmax(scores)
 	out := NewMat(1, values.C)
+	w := make([]float64, keys.R)
+	a.ApplyInto(out, w, nil, query, keys, values)
+	return out, w
+}
+
+// ApplyWS computes the attention read-out with all scratch (and the
+// outputs) taken from ws. The returned matrix and weights alias
+// workspace storage and are invalidated by ws.Reset.
+func (a *Attention) ApplyWS(ws *Workspace, query, keys, values *Mat) (*Mat, []float64) {
+	out := ws.Take(1, values.C)
+	w := ws.TakeVec(keys.R)
+	a.ApplyInto(out, w, ws, query, keys, values)
+	return out, w
+}
+
+// SelfApplyAllWS computes, for every row q_i of x, the additive
+// attention read-out with x as queries, keys, and values — the batched
+// form of n separate ApplyWS calls (Eq. 6 over a whole trajectory).
+// Because the additive score W_v·tanh(W_q·q_i ⊕ W_k·k_j) separates into
+// a query term and a key term, the n² scores reduce to two n×h
+// projections and an outer sum, and the weighted read-out becomes one
+// n×n · n×d product. The returned n×d matrix is owned by ws.
+func (a *Attention) SelfApplyAllWS(ws *Workspace, x *Mat) *Mat {
+	n, h := x.R, a.Wq.W.C
+	q := ws.Take(n, h)
+	MatMulInto(q, x, a.Wq.W)
+	k := ws.Take(n, a.Wk.W.C)
+	MatMulInto(k, x, a.Wk.W)
+	wv := a.Wv.W.W
+	qdot := ws.TakeVec(n)
+	kdot := ws.TakeVec(n)
 	for i := 0; i < n; i++ {
-		row := values.Row(i)
+		var sq, sk float64
+		for j, v := range q.Row(i) {
+			sq += math.Tanh(v) * wv[j]
+		}
+		for j, v := range k.Row(i) {
+			sk += math.Tanh(v) * wv[h+j]
+		}
+		qdot[i], kdot[i] = sq, sk
+	}
+	w := ws.Take(n, n)
+	for i := 0; i < n; i++ {
+		row := w.Row(i)
+		for j := range row {
+			row[j] = qdot[i] + kdot[j]
+		}
+		softmaxInto(row, row)
+	}
+	out := ws.Take(n, x.C)
+	MatMulInto(out, w, x)
+	return out
+}
+
+// AttKeys caches the key-side state of additive attention over a fixed
+// key/value matrix, so repeated single-query read-outs (the per-road
+// trajectory relevance of Eq. 10, asked for every candidate segment of
+// a trajectory) skip the n×h key projection and its tanh reduction.
+type AttKeys struct {
+	att  *Attention
+	kv   *Mat      // shared keys-and-values matrix
+	kdot []float64 // per-key additive score contribution
+}
+
+// PrecomputeKeys builds the key-side cache for kv (used as both keys
+// and values). kv is retained by reference and must stay unchanged for
+// the cache's lifetime.
+func (a *Attention) PrecomputeKeys(kv *Mat) *AttKeys {
+	h := a.Wq.W.C
+	k := NewMat(kv.R, a.Wk.W.C)
+	MatMulInto(k, kv, a.Wk.W)
+	wv := a.Wv.W.W
+	kdot := make([]float64, kv.R)
+	for i := range kdot {
+		var s float64
+		for j, v := range k.Row(i) {
+			s += math.Tanh(v) * wv[h+j]
+		}
+		kdot[i] = s
+	}
+	return &AttKeys{att: a, kv: kv, kdot: kdot}
+}
+
+// QueryWS computes the attention read-out for one 1×d query against
+// the cached keys. The returned 1×d matrix and weights are owned by ws.
+func (ak *AttKeys) QueryWS(ws *Workspace, query *Mat) (*Mat, []float64) {
+	h := ak.att.Wq.W.C
+	q := ws.Take(1, h)
+	MatMulInto(q, query, ak.att.Wq.W)
+	wv := ak.att.Wv.W.W
+	var qdot float64
+	for j, v := range q.W {
+		qdot += math.Tanh(v) * wv[j]
+	}
+	n := ak.kv.R
+	w := ws.TakeVec(n)
+	for i, kd := range ak.kdot {
+		w[i] = qdot + kd
+	}
+	softmaxInto(w, w)
+	out := ws.Take(1, ak.kv.C)
+	for j := range out.W {
+		out.W[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		row := ak.kv.Row(i)
+		wi := w[i]
 		for j, v := range row {
-			out.W[j] += w[i] * v
+			out.W[j] += wi * v
 		}
 	}
 	return out, w
+}
+
+// ApplyInto computes the attention read-out into caller-owned storage:
+// out must be 1×values.C, weights length keys.R. ws supplies the q/k
+// projection scratch (nil allocates it). The additive score
+// W_v·tanh(W_q·q ⊕ W_k·k_j) splits into a query half that is constant
+// across j and a per-key half, so the query contribution is reduced
+// once instead of re-copied and re-reduced per key.
+func (a *Attention) ApplyInto(out *Mat, weights []float64, ws *Workspace, query, keys, values *Mat) {
+	n := keys.R
+	h := a.Wq.W.C
+	var q, k *Mat
+	if ws != nil {
+		q = ws.Take(1, h)
+		k = ws.Take(n, a.Wk.W.C)
+	} else {
+		q = NewMat(1, h)
+		k = NewMat(n, a.Wk.W.C)
+	}
+	MatMulInto(q, query, a.Wq.W)
+	MatMulInto(k, keys, a.Wk.W)
+	// Constant query half of every additive score.
+	var qdot float64
+	wv := a.Wv.W.W
+	for j, v := range q.W {
+		qdot += math.Tanh(v) * wv[j]
+	}
+	scores := weights // reuse the output slice as score scratch
+	for i := 0; i < n; i++ {
+		s := qdot
+		row := k.Row(i)
+		for j, v := range row {
+			s += math.Tanh(v) * wv[h+j]
+		}
+		scores[i] = s
+	}
+	softmaxInto(weights, scores)
+	for j := range out.W {
+		out.W[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		row := values.Row(i)
+		wi := weights[i]
+		for j, v := range row {
+			out.W[j] += wi * v
+		}
+	}
 }

@@ -1,0 +1,210 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// The workspace-backed inference paths must agree bit-for-bit with the
+// allocating Apply paths (which the infer_test.go suite already pins to
+// the tape forward pass), and must be allocation-free once warm.
+
+func TestLinearApplyIntoMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := NewLinear("l", 6, 4, rng)
+	x := NewMat(7, 6)
+	x.Xavier(rng)
+	want := l.Apply(x)
+	got := NewMat(7, 4)
+	got.Fill(math.NaN()) // ApplyInto must fully overwrite
+	l.ApplyInto(got, x)
+	for i := range want.W {
+		if want.W[i] != got.W[i] {
+			t.Fatalf("ApplyInto mismatch at %d: %v vs %v", i, got.W[i], want.W[i])
+		}
+	}
+}
+
+func TestMLPApplyWSMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	for _, act := range []Activation{ActReLU, ActTanh, ActSigmoid} {
+		m := NewMLP("m", []int{5, 9, 3}, act, rng)
+		for trial := 0; trial < 3; trial++ { // repeat to exercise slab reuse
+			x := NewMat(4+trial, 5)
+			x.Xavier(rng)
+			want := m.Apply(x)
+			ws.Reset()
+			got := m.ApplyWS(ws, x)
+			for i := range want.W {
+				if want.W[i] != got.W[i] {
+					t.Fatalf("act %v trial %d: ApplyWS mismatch at %d", act, trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAttentionApplyWSMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := NewAttention("a", 5, 3, rng)
+	q := NewMat(1, 5)
+	q.Xavier(rng)
+	k := NewMat(8, 5)
+	k.Xavier(rng)
+	v := NewMat(8, 5)
+	v.Xavier(rng)
+	wantOut, wantW := a.Apply(q, k, v)
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	for trial := 0; trial < 3; trial++ {
+		ws.Reset()
+		gotOut, gotW := a.ApplyWS(ws, q, k, v)
+		for i := range wantOut.W {
+			if wantOut.W[i] != gotOut.W[i] {
+				t.Fatalf("trial %d: output mismatch at %d", trial, i)
+			}
+		}
+		for i := range wantW {
+			if wantW[i] != gotW[i] {
+				t.Fatalf("trial %d: weight mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSelfApplyAllMatchesPerRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a := NewAttention("a", 6, 4, rng)
+	x := NewMat(9, 6)
+	x.Xavier(rng)
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	got := a.SelfApplyAllWS(ws, x)
+	for i := 0; i < x.R; i++ {
+		q := &Mat{R: 1, C: x.C, W: x.Row(i)}
+		want, _ := a.Apply(q, x, x)
+		for j := range want.W {
+			if math.Abs(want.W[j]-got.At(i, j)) > 1e-12 {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, got.At(i, j), want.W[j])
+			}
+		}
+	}
+}
+
+func TestAttKeysQueryMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := NewAttention("a", 6, 4, rng)
+	kv := NewMat(11, 6)
+	kv.Xavier(rng)
+	ak := a.PrecomputeKeys(kv)
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	for trial := 0; trial < 4; trial++ {
+		q := NewMat(1, 6)
+		q.Xavier(rng)
+		wantOut, wantW := a.Apply(q, kv, kv)
+		ws.Reset()
+		gotOut, gotW := ak.QueryWS(ws, q)
+		for j := range wantOut.W {
+			if math.Abs(wantOut.W[j]-gotOut.W[j]) > 1e-12 {
+				t.Fatalf("trial %d: output mismatch at %d", trial, j)
+			}
+		}
+		for j := range wantW {
+			if math.Abs(wantW[j]-gotW[j]) > 1e-12 {
+				t.Fatalf("trial %d: weight mismatch at %d", trial, j)
+			}
+		}
+	}
+}
+
+// TestBatchedInferenceZeroAllocs pins the batched-path contract: after
+// warmup, MLP.ApplyWS and Attention.ApplyWS run without a single heap
+// allocation.
+func TestBatchedInferenceZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m := NewMLP("m", []int{48, 24, 2}, ActReLU, rng)
+	att := NewAttention("a", 24, 12, rng)
+	x := NewMat(64, 48)
+	x.Xavier(rng)
+	q := NewMat(1, 24)
+	q.Xavier(rng)
+	kv := NewMat(32, 24)
+	kv.Xavier(rng)
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	// Cap the matmul pool at 1: goroutine forking inside a parallel
+	// MatMulInto allocates by design; the 0-alloc contract is about the
+	// per-call buffer discipline.
+	prev := SetMatMulWorkers(1)
+	defer SetMatMulWorkers(prev)
+	ws.Reset()
+	m.ApplyWS(ws, x) // warm the slabs
+	att.ApplyWS(ws, q, kv, kv)
+	allocs := testing.AllocsPerRun(100, func() {
+		ws.Reset()
+		m.ApplyWS(ws, x)
+		att.ApplyWS(ws, q, kv, kv)
+	})
+	if allocs != 0 {
+		t.Fatalf("batched inference allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestMatMulParallelMatchesSequential pins that row-parallel products
+// are bit-identical to sequential ones, under the race detector, at
+// GOMAXPROCS 1 and N.
+func TestMatMulParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	// Big enough to clear matmulParallelMinFlops: 128*96*64 ≈ 786k.
+	a := NewMat(128, 96)
+	a.Xavier(rng)
+	b := NewMat(96, 64)
+	b.Xavier(rng)
+	want := NewMat(128, 64)
+	prev := SetMatMulWorkers(1)
+	MatMulInto(want, a, b)
+	SetMatMulWorkers(prev)
+
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		for _, workers := range []int{2, 3, 8} {
+			SetMatMulWorkers(workers)
+			got := NewMat(128, 64)
+			MatMulInto(got, a, b)
+			for i := range want.W {
+				if want.W[i] != got.W[i] {
+					t.Fatalf("GOMAXPROCS %d workers %d: mismatch at %d", procs, workers, i)
+				}
+			}
+		}
+		runtime.GOMAXPROCS(old)
+	}
+	SetMatMulWorkers(prev)
+
+	// Concurrent callers must not trample each other (workspaces are
+	// per-goroutine; MatMulInto itself shares only read-only inputs).
+	SetMatMulWorkers(4)
+	defer SetMatMulWorkers(prev)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := NewMat(128, 64)
+			MatMulInto(out, a, b)
+			for i := range want.W {
+				if want.W[i] != out.W[i] {
+					t.Error("concurrent MatMulInto diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -14,6 +14,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Mat is a dense row-major matrix of float64.
@@ -116,17 +119,72 @@ func (m *Mat) mustSameShape(o *Mat, op string) {
 	}
 }
 
+// matmulWorkers bounds the goroutines a single large MatMulInto may
+// fan out to. It defaults to GOMAXPROCS and is adjusted (atomically)
+// by SetMatMulWorkers; 1 forces every product onto the calling
+// goroutine.
+var matmulWorkers atomic.Int64
+
+func init() { matmulWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetMatMulWorkers bounds the worker pool large matrix products fan out
+// to (n < 1 resets to GOMAXPROCS). Row-parallel products are
+// bit-identical to sequential ones — each output row is computed by
+// exactly one worker in the same inner-loop order — so this is purely a
+// throughput knob. It returns the previous setting.
+func SetMatMulWorkers(n int) int {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(matmulWorkers.Swap(int64(n)))
+}
+
+// matmulParallelMinFlops is the approximate multiply-add count below
+// which forking workers costs more than the product itself.
+const matmulParallelMinFlops = 1 << 17
+
 // MatMulInto computes dst = a·b. Shapes must agree; dst must be
 // preallocated a.R×b.C. Used by both the forward pass and the backward
-// closures.
+// closures. Large products are split row-blockwise across a bounded
+// worker pool (see SetMatMulWorkers); the result is bit-identical to
+// the sequential order because every dst row is produced by one worker
+// with an unchanged accumulation order.
 func MatMulInto(dst, a, b *Mat) {
 	if a.C != b.R || dst.R != a.R || dst.C != b.C {
 		panic(fmt.Sprintf("nn: MatMulInto: %d×%d · %d×%d -> %d×%d", a.R, a.C, b.R, b.C, dst.R, dst.C))
 	}
-	dst.Zero()
-	for i := 0; i < a.R; i++ {
+	workers := int(matmulWorkers.Load())
+	if workers > a.R {
+		workers = a.R
+	}
+	if workers > 1 && a.R*a.C*b.C >= matmulParallelMinFlops {
+		var wg sync.WaitGroup
+		chunk := (a.R + workers - 1) / workers
+		for lo := 0; lo < a.R; lo += chunk {
+			hi := lo + chunk
+			if hi > a.R {
+				hi = a.R
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				matMulRows(dst, a, b, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	matMulRows(dst, a, b, 0, a.R)
+}
+
+// matMulRows computes dst rows [lo, hi) of a·b.
+func matMulRows(dst, a, b *Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ar := a.W[i*a.C : (i+1)*a.C]
 		dr := dst.W[i*dst.C : (i+1)*dst.C]
+		for j := range dr {
+			dr[j] = 0
+		}
 		for k, av := range ar {
 			if av == 0 {
 				continue

@@ -1,0 +1,63 @@
+package nn
+
+import "sync"
+
+// Workspace is a bump-allocator for scratch matrices on the inference
+// hot path. Callers Take matrices in a fixed per-cycle order, use them,
+// and Reset once the cycle's outputs have been consumed; after the
+// first few cycles every Take is a reslice of an existing slab and the
+// whole cycle runs without heap allocation.
+//
+// Taken matrices alias workspace storage: they are invalidated by
+// Reset and by Release, and must not be retained across either. A
+// Workspace is not safe for concurrent use; parallel workers each take
+// their own (GetWorkspace per goroutine).
+type Workspace struct {
+	slabs []workspaceSlab
+	next  int
+}
+
+type workspaceSlab struct {
+	buf []float64
+	m   Mat
+}
+
+// Take returns an r×c scratch matrix backed by the workspace. Contents
+// are NOT zeroed — callers that accumulate must clear it first (MatMulInto
+// and the ApplyInto paths overwrite their destination, so they need no
+// clearing).
+func (w *Workspace) Take(r, c int) *Mat {
+	n := r * c
+	if w.next == len(w.slabs) {
+		w.slabs = append(w.slabs, workspaceSlab{buf: make([]float64, n)})
+	}
+	s := &w.slabs[w.next]
+	w.next++
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	s.m = Mat{R: r, C: c, W: s.buf[:n]}
+	return &s.m
+}
+
+// TakeVec returns a length-n scratch slice backed by the workspace
+// (contents not zeroed).
+func (w *Workspace) TakeVec(n int) []float64 { return w.Take(1, n).W }
+
+// Reset makes every slab available for reuse. Matrices previously
+// returned by Take become invalid.
+func (w *Workspace) Reset() { w.next = 0 }
+
+// wsPool recycles workspaces across matches so steady-state inference
+// performs no slab allocation at all.
+var wsPool = sync.Pool{New: func() interface{} { return &Workspace{} }}
+
+// GetWorkspace fetches a (possibly warm) workspace from the shared pool.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// PutWorkspace resets ws and returns it to the shared pool. The caller
+// must not use ws, or any matrix taken from it, afterwards.
+func PutWorkspace(ws *Workspace) {
+	ws.Reset()
+	wsPool.Put(ws)
+}
