@@ -39,6 +39,7 @@ import (
 
 	lhmm "repro"
 	"repro/internal/eval"
+	"repro/internal/faultinject"
 	"repro/internal/geo"
 	"repro/internal/obs"
 )
@@ -78,6 +79,15 @@ func main() {
 	parallel := flag.Int("parallel", 0, "transition fan-out workers per match (<=1 keeps matching sequential; matched output is identical)")
 	of := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := faultinject.ArmFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "lhmm-bench:", err)
+		os.Exit(1)
+	}
+	if fp := faultinject.Armed(); len(fp) > 0 {
+		fmt.Fprintf(os.Stderr, "lhmm-bench: fault injection armed via %s: %s\n",
+			faultinject.EnvVar, strings.Join(fp, ","))
+	}
 
 	cleanup, err := of.Apply()
 	if err != nil {

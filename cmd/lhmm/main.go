@@ -21,6 +21,7 @@ import (
 
 	lhmm "repro"
 	"repro/internal/eval"
+	"repro/internal/faultinject"
 	"repro/internal/geo"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -32,6 +33,14 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
+	}
+	if err := faultinject.ArmFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "lhmm:", err)
+		os.Exit(2)
+	}
+	if fp := faultinject.Armed(); len(fp) > 0 {
+		fmt.Fprintf(os.Stderr, "lhmm: fault injection armed via %s: %s\n",
+			faultinject.EnvVar, strings.Join(fp, ","))
 	}
 	var err error
 	switch os.Args[1] {
@@ -65,7 +74,14 @@ commands:
 observability flags (every command):
   -metrics FILE     dump telemetry counters/histograms as JSON on exit ('-' for stderr)
   -log-level LEVEL  structured logs on stderr: debug|info|warn|error
-  -debug-addr ADDR  serve /debug/pprof, /debug/vars, /metrics while running`)
+  -debug-addr ADDR  serve /debug/pprof, /debug/vars, /metrics while running
+
+robustness flags (match, eval):
+  -on-break POLICY  dead-point policy: error|skip|split
+  -sanitize MODE    input validation: strict|drop|off
+
+fault injection (chaos testing): set LHMM_FAULTS=name[:N],... to arm
+failpoints, e.g. LHMM_FAULTS=hmm.candidates.empty:7`)
 }
 
 // parseWithObs parses the flag set with the shared observability trio
@@ -213,6 +229,8 @@ func cmdMatch(args []string) error {
 	geojson := fs.String("geojson", "", "optional GeoJSON output file")
 	traceOut := fs.String("trace", "", "write the per-trajectory match trace as JSON ('-' for stdout)")
 	parallel := fs.Int("parallel", 0, "transition fan-out workers per match (<=1 sequential; output identical)")
+	onBreak := fs.String("on-break", "error", "dead-point policy: error|skip|split")
+	sanitize := fs.String("sanitize", "strict", "input validation: strict|drop|off")
 	cleanup, err := parseWithObs(fs, args)
 	if err != nil {
 		return err
@@ -228,6 +246,12 @@ func cmdMatch(args []string) error {
 	}
 	model.Cfg.Trace = *traceOut != ""
 	model.Cfg.Parallel = *parallel
+	if model.Cfg.OnBreak, err = lhmm.ParseBreakPolicy(*onBreak); err != nil {
+		return err
+	}
+	if model.Cfg.Sanitize, err = lhmm.ParseSanitizeMode(*sanitize); err != nil {
+		return err
+	}
 	tests := ds.TestTrips()
 	if *trip < 0 || *trip >= len(tests) {
 		return fmt.Errorf("trip index %d out of range (have %d test trips)", *trip, len(tests))
@@ -262,6 +286,25 @@ func cmdMatch(args []string) error {
 		}
 	}
 	fmt.Printf("shortcut skips: %d of %d points\n", skips, len(res.Skipped))
+	if d := res.Sanitize.Dropped(); d > 0 {
+		fmt.Printf("sanitized: dropped %d malformed points (%d bad coords, %d bad timestamps)\n",
+			d, res.Sanitize.BadCoords, res.Sanitize.BadTimes)
+	}
+	deadPts := 0
+	for _, dd := range res.Dead {
+		if dd {
+			deadPts++
+		}
+	}
+	if deadPts > 0 {
+		fmt.Printf("dead points (no candidates): %d of %d\n", deadPts, len(res.Dead))
+	}
+	for _, g := range res.Gaps {
+		fmt.Printf("gap: points %d -> %d (%s)\n", g.From, g.To, g.Reason)
+	}
+	if res.Degraded > 0 {
+		fmt.Printf("degraded scoring events (classical fallback): %d\n", res.Degraded)
+	}
 	if *geojson != "" {
 		cs := caseFor(ds, tr, res.Path)
 		data, err := cs.GeoJSON(geo.Anchor{Origin: geo.LatLon{Lat: 30.25, Lon: 120.17}})
@@ -295,11 +338,21 @@ func cmdEval(args []string) error {
 	k := fs.Int("k", 30, "candidates per point")
 	seed := fs.Int64("seed", 1, "seed the model was trained with")
 	parallel := fs.Int("parallel", 0, "transition fan-out workers per match (<=1 sequential; output identical)")
+	onBreak := fs.String("on-break", "error", "dead-point policy: error|skip|split")
+	sanitize := fs.String("sanitize", "strict", "input validation: strict|drop|off")
 	cleanup, err := parseWithObs(fs, args)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
+	breakPolicy, err := lhmm.ParseBreakPolicy(*onBreak)
+	if err != nil {
+		return err
+	}
+	sanitizeMode, err := lhmm.ParseSanitizeMode(*sanitize)
+	if err != nil {
+		return err
+	}
 	ds, err := loadDataset(*data)
 	if err != nil {
 		return err
@@ -321,6 +374,8 @@ func cmdEval(args []string) error {
 				return err
 			}
 			model.Cfg.Parallel = *parallel
+			model.Cfg.OnBreak = breakPolicy
+			model.Cfg.Sanitize = sanitizeMode
 			m = lhmm.AsMethod("LHMM", model)
 		} else {
 			m, err = methodByName(ds, name)

@@ -7,7 +7,11 @@
 // shortcut-augmented candidate graph (§IV-E).
 package core
 
-import "repro/internal/mrg"
+import (
+	"repro/internal/hmm"
+	"repro/internal/mrg"
+	"repro/internal/traj"
+)
 
 // Config parameterizes LHMM training and inference. Zero values select
 // the defaults noted on each field (applied by withDefaults).
@@ -73,6 +77,16 @@ type Config struct {
 	LabelSmooth float64
 	// Seed drives all sampling and initialization.
 	Seed int64
+
+	// OnBreak selects how matching treats a point with no candidate
+	// roads: error out (the default, the paper's assumption), skip the
+	// point, or split the trajectory into independently matched
+	// segments stitched with explicit Gap markers. See hmm.BreakPolicy.
+	OnBreak hmm.BreakPolicy
+	// Sanitize selects input validation before matching: strict (the
+	// default; malformed points error), drop (malformed points are
+	// removed and reported), or off. See traj.SanitizeMode.
+	Sanitize traj.SanitizeMode
 
 	// Trace attaches a per-trajectory obs.MatchTrace to every Match
 	// result (candidate stats, Viterbi breaks, stage wall-clock).

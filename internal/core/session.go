@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/hmm"
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -15,7 +17,9 @@ import (
 	"repro/internal/traj"
 )
 
-// Inference telemetry (internal/obs).
+// Inference telemetry (internal/obs). Counters are interned by name,
+// so "hmm.match.degraded" here is the same instrument the hmm matcher
+// increments for its scalar-path fallbacks.
 var (
 	obsCoreMatches   = obs.Default.Counter("core.matches")
 	obsCoreMatchErrs = obs.Default.Counter("core.match.errors")
@@ -24,7 +28,13 @@ var (
 	obsRoadProbMiss  = obs.Default.Counter("core.roadprob.cache.misses")
 	obsObsBatched    = obs.Default.Counter("core.obs.batched.rows")
 	obsTransBatched  = obs.Default.Counter("core.trans.batched.rows")
+	obsCoreDegraded  = obs.Default.Counter("hmm.match.degraded")
+	obsCoreSanitized = obs.Default.Counter("hmm.match.sanitized")
 )
+
+// fpBatchNaN poisons the batched transition scores with NaN (chaos
+// tests for the inline degraded fallback; no-op unless armed).
+var fpBatchNaN = faultinject.New("core.trans.nan")
 
 // session holds the per-trajectory inference state: point embeddings,
 // context-aware point representations (Eq. 6), and a cache of per-road
@@ -66,6 +76,11 @@ type session struct {
 	// of the point); obsMax the max score for stable exponentials.
 	obsZ   []float64
 	obsMax []float64
+
+	// deg counts batched scoring events that fell back to the
+	// classical explicit feature because the learned score came out
+	// NaN/Inf (degraded mode); folded into Result.Degraded by Match.
+	deg atomic.Int64
 }
 
 // newSession precomputes the trajectory-level state. The model must
@@ -451,7 +466,14 @@ func (s *session) ScoreBatch(ct traj.CellTrajectory, i int, from, to []hmm.Candi
 		wg.Wait()
 	}
 
-	// Phase 2: one batched product through the fuse MLP.
+	// Phase 2: one batched product through the fuse MLP. NaN in out is
+	// the unreachable sentinel of the batch protocol, so a learned
+	// score that itself comes out non-finite (corrupt weights, a NaN
+	// that slipped past load validation, fault injection) must be
+	// caught here: it degrades to the explicit length-similarity
+	// feature — exactly the classical Eq. 3 exponential with β=500,
+	// already computed into the feature row — instead of silently
+	// reading as "unreachable" and breaking the chain.
 	logits := s.m.TransFuse.ApplyWS(s.ws, feat) // nPairs×2
 	g := s.m.transGamma.W.W[0]
 	for p := 0; p < nPairs; p++ {
@@ -462,6 +484,19 @@ func (s *session) ScoreBatch(ct traj.CellTrajectory, i int, from, to []hmm.Candi
 		pr := softmaxP1(lr[0], lr[1])
 		if g != 1 {
 			pr = math.Pow(pr, g)
+		}
+		if fpBatchNaN.Fail() {
+			pr = math.NaN()
+		}
+		if math.IsNaN(pr) || math.IsInf(pr, 0) {
+			if fb := feat.Row(p)[1]; !math.IsNaN(fb) && !math.IsInf(fb, 0) {
+				pr = fb
+			} else {
+				out[p] = math.NaN()
+				s.deg.Add(1)
+				continue
+			}
+			s.deg.Add(1)
 		}
 		out[p] = pr
 	}
@@ -484,6 +519,16 @@ func (t transAdapter) ScoreBatch(ct traj.CellTrajectory, i int, from, to []hmm.C
 
 // Match map-matches one cellular trajectory with the trained model.
 func (m *Model) Match(ct traj.CellTrajectory) (*hmm.Result, error) {
+	return m.MatchContext(context.Background(), ct)
+}
+
+// MatchContext is Match with cancellation and a hardened boundary: the
+// context is checked between Viterbi steps (a canceled context stops
+// the match within one step's work), and a panic anywhere in inference
+// — most plausibly an nn shape mismatch from a model whose weights
+// disagree with the configuration — is recovered into a wrapped error
+// instead of unwinding through the caller.
+func (m *Model) MatchContext(ctx context.Context, ct traj.CellTrajectory) (res *hmm.Result, err error) {
 	if m.emb == nil {
 		obsCoreMatchErrs.Inc()
 		return nil, fmt.Errorf("core: model has no embeddings; call RefreshEmbeddings after training or loading")
@@ -492,11 +537,33 @@ func (m *Model) Match(ct traj.CellTrajectory) (*hmm.Result, error) {
 		obsCoreMatchErrs.Inc()
 		return nil, fmt.Errorf("core: empty trajectory")
 	}
+	// Sanitize before the session precomputes per-point state: the
+	// session's embeddings, attention keys, and softmax caches are all
+	// indexed by trajectory position, so dropping points later (inside
+	// the hmm matcher) would misalign them.
+	ct, srep, err := traj.Sanitize(ct, m.Cfg.Sanitize)
+	if err != nil {
+		obsCoreMatchErrs.Inc()
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if srep.Dropped() > 0 {
+		obsCoreSanitized.Add(int64(srep.Dropped()))
+	}
+	if len(ct) == 0 {
+		obsCoreMatchErrs.Inc()
+		return nil, fmt.Errorf("core: no valid points left after sanitization (dropped %d)", srep.Dropped())
+	}
 	var start time.Time
 	if timed := obs.Default.Enabled(); timed {
 		start = time.Now()
 		defer func() { obsCoreMatchS.ObserveSince(start) }()
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			obsCoreMatchErrs.Inc()
+			res, err = nil, fmt.Errorf("core: match panicked (likely a model/config shape mismatch): %v", r)
+		}
+	}()
 	sess := m.newSession(ct)
 	defer sess.release()
 	matcher := &hmm.Matcher{
@@ -507,14 +574,25 @@ func (m *Model) Match(ct traj.CellTrajectory) (*hmm.Result, error) {
 		Cfg: hmm.Config{
 			K:         m.Cfg.K,
 			Shortcuts: m.Cfg.Shortcuts,
-			Trace:     m.Cfg.Trace,
-			Parallel:  m.Cfg.Parallel,
+			OnBreak:   m.Cfg.OnBreak,
+			// Sanitization already ran above (session state must align
+			// with what the matcher sees); do not re-run it inside.
+			Sanitize: traj.SanitizeOff,
+			Trace:    m.Cfg.Trace,
+			Parallel: m.Cfg.Parallel,
 		},
 	}
-	res, err := matcher.Match(ct)
+	res, err = matcher.MatchContext(ctx, ct)
 	if err != nil {
 		obsCoreMatchErrs.Inc()
 		return nil, err
+	}
+	res.Sanitize = srep
+	if d := int(sess.deg.Load()); d > 0 {
+		// Fold the batched-path fallbacks into the result and the
+		// shared degraded counter (the hmm layer counted its own).
+		res.Degraded += d
+		obsCoreDegraded.Add(int64(d))
 	}
 	obsCoreMatches.Inc()
 	return res, nil

@@ -1,0 +1,169 @@
+// Package faultinject provides named failpoints for chaos-testing the
+// matching pipeline: candidate lookup, learned scoring, and model
+// deserialization register a Point each, and tests (or an operator via
+// the LHMM_FAULTS environment variable) arm them to force the failure
+// modes the fault-tolerance machinery must absorb — dead candidate
+// sets, NaN scores, corrupt model files.
+//
+// The package is no-op by default and built for hot paths: every
+// Point.Fail() first loads one package-level atomic.Bool and returns
+// false, so an unarmed build pays a single atomic load per check (the
+// same discipline as internal/obs). Arming is explicit and
+// deterministic — a failpoint either fires on every hit or on every
+// Nth hit — so chaos tests are reproducible; there is no randomness.
+//
+// Spec grammar (comma-separated, via Arm or LHMM_FAULTS):
+//
+//	hmm.candidates.empty          fire on every hit
+//	hmm.candidates.empty:3        fire on every 3rd hit (hits 3, 6, 9, …)
+//
+// Unknown names are accepted and retained: the Point picks up its
+// arming when it is later created, so env-armed CLIs work regardless of
+// package initialization order.
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar is the environment variable the CLIs arm failpoints from.
+const EnvVar = "LHMM_FAULTS"
+
+// armed is the global fast-path gate: false means every Fail() returns
+// immediately after one atomic load.
+var armed atomic.Bool
+
+var (
+	mu     sync.Mutex
+	points = make(map[string]*Point)
+	specs  = make(map[string]int64) // armed specs, by name -> every-Nth
+)
+
+// Point is one named failpoint. Create with New at package init and
+// call Fail at the injection site.
+type Point struct {
+	name  string
+	every atomic.Int64 // 0 = disarmed, N>=1 = fire on every Nth hit
+	hits  atomic.Int64
+}
+
+// New returns the failpoint registered under name, creating it on
+// first use. The same name always yields the same Point, and a Point
+// created after its name was armed starts armed.
+func New(name string) *Point {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p
+	}
+	p := &Point{name: name}
+	if n, ok := specs[name]; ok {
+		p.every.Store(n)
+	}
+	points[name] = p
+	return p
+}
+
+// Name returns the failpoint's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Fail reports whether the failpoint fires on this hit. Unarmed (the
+// default), it costs one atomic load. Safe for concurrent use.
+func (p *Point) Fail() bool {
+	if !armed.Load() {
+		return false
+	}
+	every := p.every.Load()
+	if every <= 0 {
+		return false
+	}
+	return p.hits.Add(1)%every == 0
+}
+
+// Hits returns how many times Fail has been evaluated while the point
+// was armed (diagnostic; counts both firing and non-firing hits).
+func (p *Point) Hits() int64 { return p.hits.Load() }
+
+// Arm parses a comma-separated spec list ("name" or "name:N") and arms
+// the named failpoints. Names not yet created are retained and applied
+// when New runs for them. Empty spec is a no-op.
+func Arm(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	type parsed struct {
+		name string
+		n    int64
+	}
+	var ps []parsed
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, n := part, int64(1)
+		if idx := strings.LastIndex(part, ":"); idx >= 0 {
+			name = part[:idx]
+			v, err := strconv.ParseInt(part[idx+1:], 10, 64)
+			if err != nil || v < 1 {
+				return fmt.Errorf("faultinject: bad spec %q: want name or name:N with N >= 1", part)
+			}
+			n = v
+		}
+		if name == "" {
+			return fmt.Errorf("faultinject: bad spec %q: empty failpoint name", part)
+		}
+		ps = append(ps, parsed{name, n})
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, p := range ps {
+		specs[p.name] = p.n
+		if pt, ok := points[p.name]; ok {
+			pt.every.Store(p.n)
+		}
+	}
+	if len(specs) > 0 {
+		armed.Store(true)
+	}
+	return nil
+}
+
+// ArmFromEnv arms failpoints from the LHMM_FAULTS environment variable.
+// Unset or empty is a no-op.
+func ArmFromEnv() error { return Arm(os.Getenv(EnvVar)) }
+
+// DisarmAll disarms every failpoint and restores the zero-cost fast
+// path. Hit counts are reset.
+func DisarmAll() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Store(false)
+	specs = make(map[string]int64)
+	for _, p := range points {
+		p.every.Store(0)
+		p.hits.Store(0)
+	}
+}
+
+// Enabled reports whether any failpoint is armed.
+func Enabled() bool { return armed.Load() }
+
+// Armed returns the sorted names of currently armed failpoints.
+func Armed() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(specs))
+	for name := range specs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,133 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDisarmedIsNoOp(t *testing.T) {
+	DisarmAll()
+	p := New("test.noop")
+	for i := 0; i < 100; i++ {
+		if p.Fail() {
+			t.Fatal("disarmed failpoint fired")
+		}
+	}
+	if p.Hits() != 0 {
+		t.Errorf("disarmed point counted %d hits", p.Hits())
+	}
+}
+
+func TestArmEveryHit(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	DisarmAll()
+	p := New("test.every")
+	if err := Arm("test.every"); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("Enabled() = false after Arm")
+	}
+	for i := 0; i < 5; i++ {
+		if !p.Fail() {
+			t.Fatalf("armed failpoint did not fire on hit %d", i+1)
+		}
+	}
+	DisarmAll()
+	if p.Fail() {
+		t.Error("failpoint fired after DisarmAll")
+	}
+}
+
+func TestArmEveryNth(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	DisarmAll()
+	p := New("test.nth")
+	if err := Arm("test.nth:3"); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 9; i++ {
+		if p.Fail() {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 3 || fired[0] != 3 || fired[1] != 6 || fired[2] != 9 {
+		t.Errorf("every-3rd fired on hits %v, want [3 6 9]", fired)
+	}
+}
+
+func TestArmBeforeNew(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	DisarmAll()
+	if err := Arm("test.latecomer:2"); err != nil {
+		t.Fatal(err)
+	}
+	p := New("test.latecomer")
+	if p.Fail() {
+		t.Error("hit 1 fired for every-2nd spec")
+	}
+	if !p.Fail() {
+		t.Error("hit 2 did not fire for every-2nd spec")
+	}
+}
+
+func TestArmSpecErrors(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	DisarmAll()
+	for _, bad := range []string{"x:0", "x:-1", "x:abc", ":3"} {
+		if err := Arm(bad); err == nil {
+			t.Errorf("Arm(%q) accepted", bad)
+		}
+	}
+	// Empty spec is a no-op, not an error.
+	if err := Arm(""); err != nil {
+		t.Errorf("Arm(\"\") = %v", err)
+	}
+	if Enabled() {
+		t.Error("Enabled() after no-op/failed arms")
+	}
+}
+
+func TestArmedNames(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	DisarmAll()
+	if err := Arm("b.two, a.one:4"); err != nil {
+		t.Fatal(err)
+	}
+	names := Armed()
+	if len(names) != 2 || names[0] != "a.one" || names[1] != "b.two" {
+		t.Errorf("Armed() = %v", names)
+	}
+}
+
+func TestConcurrentFail(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	DisarmAll()
+	p := New("test.concurrent")
+	if err := Arm("test.concurrent:2"); err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	fired := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if p.Fail() {
+					fired[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, f := range fired {
+		total += f
+	}
+	if want := int64(workers * per / 2); total != want {
+		t.Errorf("every-2nd fired %d of %d hits, want %d", total, workers*per, want)
+	}
+}

@@ -3,15 +3,25 @@
 // graph, Viterbi path-finding (Algorithm 1), the shortcut optimization
 // that skips unqualified candidate sets (Algorithm 2, Observation 1),
 // and the classical distance-based probability models (Eqs. 2–3).
+//
+// The matcher is fault-tolerant by configuration: Config.OnBreak
+// selects whether a point with no candidates aborts the match (the
+// paper's assumption), is skipped, or splits the trajectory into
+// independently matched segments stitched with Gap markers;
+// Config.Sanitize validates or repairs malformed input points; and
+// non-finite probabilities from a misbehaving model degrade per step to
+// the classical Eq. 2/3 models instead of poisoning the Viterbi table.
 package hmm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/geo"
 	"repro/internal/obs"
 	"repro/internal/roadnet"
@@ -32,6 +42,24 @@ var (
 	obsShortcutAdopt = obs.Default.Counter("hmm.shortcut.adoptions")
 	obsPointsSkipped = obs.Default.Counter("hmm.points.skipped")
 	obsMatchSeconds  = obs.Default.Histogram("hmm.match.seconds", obs.LatencyBuckets)
+
+	// Fault-tolerance telemetry: degraded-mode scoring events (a model
+	// returned NaN/Inf and the classical Eq. 2/3 fallback was used),
+	// stitch gaps emitted under the Split policy, dead (candidate-less)
+	// points absorbed under Skip/Split, and input points removed by
+	// sanitization. core/session increments the same degraded counter
+	// (instruments are interned by name) for its batched fallbacks.
+	obsMatchDegraded = obs.Default.Counter("hmm.match.degraded")
+	obsMatchGaps     = obs.Default.Counter("hmm.match.gaps")
+	obsDeadPoints    = obs.Default.Counter("hmm.match.deadpoints")
+	obsSanitizedPts  = obs.Default.Counter("hmm.match.sanitized")
+)
+
+// Failpoints (internal/faultinject; no-op unless armed) for chaos
+// testing the break-recovery and degraded-mode machinery.
+var (
+	fpDeadCandidates = faultinject.New("hmm.candidates.empty")
+	fpTransNaN       = faultinject.New("hmm.trans.nan")
 )
 
 // Candidate is one candidate road segment for one trajectory point
@@ -86,24 +114,122 @@ type TransitionBatchModel interface {
 	ScoreBatch(ct traj.CellTrajectory, i int, from, to []Candidate, out []float64)
 }
 
+// BreakPolicy selects how the matcher treats a dead point — one whose
+// candidate set is empty (off-map outlier, fault injection, or a
+// sanitizer-passed but unmatchable position).
+type BreakPolicy int
+
+const (
+	// BreakError aborts the match with an error on the first dead
+	// point (the default; the paper's Algorithm 1 assumption).
+	BreakError BreakPolicy = iota
+	// BreakSkip silently drops dead points: the chain restarts after
+	// each dead gap, Result.Dead marks what was skipped, and the
+	// expanded path still routes across the gap.
+	BreakSkip
+	// BreakSplit segments the trajectory at dead points and at Viterbi
+	// breaks on the chosen path (every predecessor unreachable), each
+	// segment matched independently and stitched with explicit
+	// Result.Gaps markers; the expanded path does not route across a
+	// gap.
+	BreakSplit
+)
+
+// String returns the CLI spelling of the policy.
+func (p BreakPolicy) String() string {
+	switch p {
+	case BreakError:
+		return "error"
+	case BreakSkip:
+		return "skip"
+	case BreakSplit:
+		return "split"
+	default:
+		return fmt.Sprintf("BreakPolicy(%d)", int(p))
+	}
+}
+
+// ParseBreakPolicy parses the CLI spelling of a break policy.
+func ParseBreakPolicy(s string) (BreakPolicy, error) {
+	switch s {
+	case "error":
+		return BreakError, nil
+	case "skip":
+		return BreakSkip, nil
+	case "split":
+		return BreakSplit, nil
+	default:
+		return 0, fmt.Errorf("hmm: unknown break policy %q (want error, skip, or split)", s)
+	}
+}
+
+// GapReason explains why a stitch gap was emitted.
+type GapReason int
+
+const (
+	// GapNoCandidates marks a gap spanning one or more dead points.
+	GapNoCandidates GapReason = iota
+	// GapViterbiBreak marks a gap where the chosen path restarted
+	// because every transition into the point was unreachable.
+	GapViterbiBreak
+)
+
+// String names the reason.
+func (r GapReason) String() string {
+	switch r {
+	case GapNoCandidates:
+		return "no-candidates"
+	case GapViterbiBreak:
+		return "viterbi-break"
+	default:
+		return fmt.Sprintf("GapReason(%d)", int(r))
+	}
+}
+
+// Gap marks a discontinuity in a Split-policy match: the chain was
+// broken between points From and To (indices into the matched
+// trajectory; every point strictly between them is dead) and the two
+// sides were matched independently.
+type Gap struct {
+	From, To int
+	Reason   GapReason
+}
+
 // Result is the output of Viterbi path-finding.
 type Result struct {
 	// Matched holds the chosen candidate per point. Points skipped via
 	// a shortcut have Skipped set and carry the pseudo-candidate the
-	// shortcut projected for them.
+	// shortcut projected for them. Dead points (only possible under
+	// the Skip/Split break policies) have Dead set and a zero
+	// Candidate.
 	Matched []Candidate
 	Skipped []bool
+	// Dead marks points that had no candidates and were excluded from
+	// matching (Skip/Split policies; always all-false under Error).
+	Dead []bool
+	// Gaps lists the stitch boundaries of a Split-policy match in
+	// trajectory order (empty under Error/Skip).
+	Gaps []Gap
 	// Candidates holds the prepared candidate set per point (before
 	// shortcut pseudo-candidates), for hitting-ratio evaluation.
 	Candidates [][]Candidate
 	// Path is the connected traveled path obtained by expanding the
-	// routes between consecutive matched candidates.
+	// routes between consecutive matched candidates. Under Split, the
+	// path is not routed across Gaps: both gap endpoints appear
+	// back-to-back and Gaps records the discontinuity.
 	Path []roadnet.SegmentID
 	// Score is the final candidate-path score (Eq. 14 form).
 	Score float64
 	// ShortcutAdoptions counts how many table entries Algorithm 2
 	// improved (diagnostic; a skipped point also sets Skipped).
 	ShortcutAdoptions int
+	// Degraded counts scoring events that fell back to the classical
+	// Eq. 2/3 models because a model returned NaN/Inf.
+	Degraded int
+	// Sanitize reports input points removed by drop-mode sanitization.
+	// When points were dropped, all indices in this Result refer to
+	// the sanitized trajectory.
+	Sanitize traj.SanitizeReport
 	// Trace is the per-trajectory telemetry record, populated only when
 	// Config.Trace is set.
 	Trace *obs.MatchTrace
@@ -134,6 +260,19 @@ type Config struct {
 	// Scoring selects sum-of-products (the paper) or log-product
 	// accumulation.
 	Scoring Scoring
+	// OnBreak selects the dead-point policy: Error (default), Skip, or
+	// Split. See BreakPolicy.
+	OnBreak BreakPolicy
+	// Sanitize selects input validation: strict (default; malformed
+	// points error), drop (malformed points removed, reported in
+	// Result.Sanitize), or off.
+	Sanitize traj.SanitizeMode
+	// FallbackSigma is the Eq. 2 Gaussian σ used when an observation
+	// model returns NaN/Inf (degraded mode). Default 450 m.
+	FallbackSigma float64
+	// FallbackBeta is the Eq. 3 exponential β used when a transition
+	// model returns NaN/Inf (degraded mode). Default 500 m.
+	FallbackBeta float64
 	// Trace collects a per-trajectory obs.MatchTrace on every Match
 	// (per-point candidate and score stats, break events, stage
 	// wall-clock) at the cost of a few clock reads per stage.
@@ -161,9 +300,30 @@ type Matcher struct {
 // Match runs candidate preparation, Viterbi, and (if enabled) the
 // shortcut optimization on one cellular trajectory.
 func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
+	return m.MatchContext(context.Background(), ct)
+}
+
+// MatchContext is Match with cancellation: the context is checked
+// between points during candidate preparation and between Viterbi
+// steps (and inside the parallel transition fan-out), so a canceled or
+// deadline-expired context stops the match within one step's work and
+// returns the context error wrapped.
+func (m *Matcher) MatchContext(ctx context.Context, ct traj.CellTrajectory) (*Result, error) {
 	if len(ct) == 0 {
 		obsMatchErrors.Inc()
 		return nil, fmt.Errorf("hmm: empty trajectory")
+	}
+	ct, srep, err := traj.Sanitize(ct, m.Cfg.Sanitize)
+	if err != nil {
+		obsMatchErrors.Inc()
+		return nil, fmt.Errorf("hmm: %w", err)
+	}
+	if srep.Dropped() > 0 {
+		obsSanitizedPts.Add(int64(srep.Dropped()))
+	}
+	if len(ct) == 0 {
+		obsMatchErrors.Inc()
+		return nil, fmt.Errorf("hmm: no valid points left after sanitization (dropped %d)", srep.Dropped())
 	}
 	k := m.Cfg.K
 	if k <= 0 {
@@ -189,28 +349,65 @@ func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 		start = time.Now()
 	}
 	var nCand, nEval, nBlocked int64
+	var deg atomic.Int64 // degraded-mode scoring events this match
 
-	// Step 1: candidate preparation.
+	// Step 1: candidate preparation. Dead points (no candidates) are
+	// fatal under the Error policy and recorded for segmentation under
+	// Skip/Split.
 	done := stage(&st.CandidatesS)
 	layers := make([][]Candidate, len(ct))
+	dead := make([]bool, len(ct))
+	deadCount := 0
 	for i := range ct {
-		layers[i] = m.Obs.Candidates(ct, i, k)
-		if len(layers[i]) == 0 {
+		if err := ctx.Err(); err != nil {
 			obsMatchErrors.Inc()
-			return nil, fmt.Errorf("hmm: no candidates for point %d", i)
+			return nil, fmt.Errorf("hmm: match canceled at point %d: %w", i, err)
 		}
-		nCand += int64(len(layers[i]))
+		layer := m.Obs.Candidates(ct, i, k)
+		if fpDeadCandidates.Fail() {
+			layer = nil
+		}
+		// Degraded mode: a NaN/Inf observation probability would poison
+		// every path through this point; fall back to the classical
+		// Eq. 2 Gaussian of the candidate's distance.
+		for j := range layer {
+			if o := layer[j].Obs; math.IsNaN(o) || math.IsInf(o, 0) {
+				layer[j].Obs = m.fallbackObs(layer[j].Dist)
+				deg.Add(1)
+			}
+		}
+		layers[i] = layer
+		if len(layer) == 0 {
+			if m.Cfg.OnBreak == BreakError {
+				obsMatchErrors.Inc()
+				return nil, fmt.Errorf("hmm: no candidates for point %d", i)
+			}
+			dead[i] = true
+			deadCount++
+			continue
+		}
+		nCand += int64(len(layer))
 		if trace != nil {
 			pt := &trace.Points[i]
-			pt.Candidates = len(layers[i])
+			pt.Candidates = len(layer)
 			var sum float64
-			for j := range layers[i] {
-				if o := layers[i][j].Obs; o > pt.BestObs {
+			for j := range layer {
+				if o := layer[j].Obs; o > pt.BestObs {
 					pt.BestObs = o
 				}
-				sum += layers[i][j].Obs
+				sum += layer[j].Obs
 			}
-			pt.MeanObs = sum / float64(len(layers[i]))
+			pt.MeanObs = sum / float64(len(layer))
+		}
+	}
+	if deadCount == len(ct) {
+		obsMatchErrors.Inc()
+		return nil, fmt.Errorf("hmm: no candidates for any of the %d points", len(ct))
+	}
+	alive := make([]int, 0, len(ct)-deadCount)
+	for i := range ct {
+		if !dead[i] {
+			alive = append(alive, i)
 		}
 	}
 	keep := make([][]Candidate, len(layers))
@@ -219,26 +416,44 @@ func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 	}
 	done()
 
-	// Steps 2–3: candidate graph scores + Viterbi forward pass. Step
-	// scores between consecutive layers are memoized (steps[i][j][kk] =
-	// W(c_{i-1}^j → c_i^kk), NaN when unreachable) so the shortcut pass
-	// can reuse them instead of re-running the transition model.
+	// Steps 2–3: candidate graph scores + Viterbi forward pass over the
+	// alive points. Step scores between consecutive layers are memoized
+	// (steps[i][j][kk] = W(c_{i-1}^j → c_i^kk), NaN when unreachable) so
+	// the shortcut pass can reuse them instead of re-running the
+	// transition model; steps[i] stays nil across a dead gap, where the
+	// chain restarts from observation scores.
 	done = stage(&st.ViterbiS)
 	n := len(ct)
 	f := make([][]float64, n)
 	pre := make([][]int, n) // index into layers[i-1]; -1 for none
 	steps := make([][][]float64, n)
-	f[0] = make([]float64, len(layers[0]))
-	pre[0] = make([]int, len(layers[0]))
-	for j := range layers[0] {
-		f[0][j] = m.accum(layers[0][j].Obs)
-		pre[0][j] = -1
+	first := alive[0]
+	f[first] = make([]float64, len(layers[first]))
+	pre[first] = make([]int, len(layers[first]))
+	for j := range layers[first] {
+		f[first][j] = m.accum(layers[first][j].Obs)
+		pre[first][j] = -1
 	}
 	var nBreaks int64
 	var batchBuf []float64 // reused across steps by the batch-model path
-	for i := 1; i < n; i++ {
+	for ai := 1; ai < len(alive); ai++ {
+		if err := ctx.Err(); err != nil {
+			obsMatchErrors.Inc()
+			return nil, fmt.Errorf("hmm: match canceled at step %d: %w", alive[ai], err)
+		}
+		i, p := alive[ai], alive[ai-1]
 		f[i] = make([]float64, len(layers[i]))
 		pre[i] = make([]int, len(layers[i]))
+		if p != i-1 {
+			// Dead gap: no transition evidence bridges it (the models
+			// score adjacent points only), so the chain restarts from
+			// fresh observation scores on the far side.
+			for kk := range layers[i] {
+				f[i][kk] = m.accum(layers[i][kk].Obs)
+				pre[i][kk] = -1
+			}
+			continue
+		}
 		steps[i] = make([][]float64, len(layers[i-1]))
 		for j := range layers[i-1] {
 			steps[i][j] = make([]float64, len(layers[i]))
@@ -248,7 +463,7 @@ func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 		}
 		// Phase 1: score the whole transition fan-out into the step
 		// table — batched, parallel, or pairwise-sequential.
-		batchBuf = m.fillSteps(ct, i, layers[i-1], layers[i], steps[i], batchBuf)
+		batchBuf = m.fillSteps(ctx, ct, i, layers[i-1], layers[i], steps[i], batchBuf, &deg)
 		// Phase 2: the Viterbi recurrence over the memoized table,
 		// always sequential so results do not depend on scheduling.
 		restarts, reachable := 0, 0
@@ -298,30 +513,40 @@ func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 	// Shortcut optimization (Algorithm 2).
 	done = stage(&st.ShortcutsS)
 	adoptions, attempts := 0, 0
-	if m.Cfg.Shortcuts > 0 && n >= 3 {
-		adoptions, attempts = m.addShortcuts(ct, layers, f, pre, steps)
+	if m.Cfg.Shortcuts > 0 && len(alive) >= 3 {
+		adoptions, attempts = m.addShortcuts(ct, layers, f, pre, steps, &deg)
 	}
 	done()
 
-	// Backward pass.
+	// Backward pass over the alive points; dead points keep a zero
+	// Candidate and Dead=true. Under Split, a dead gap or a chosen-path
+	// restart becomes an explicit Gap marker.
 	done = stage(&st.BacktrackS)
 	res := &Result{
 		Matched:           make([]Candidate, n),
 		Skipped:           make([]bool, n),
+		Dead:              dead,
 		Candidates:        keep,
 		ShortcutAdoptions: adoptions,
+		Sanitize:          srep,
 		Trace:             trace,
 	}
-	lastBest, lastIdx := math.Inf(-1), 0
-	for j := range layers[n-1] {
-		if f[n-1][j] > lastBest {
-			lastBest, lastIdx = f[n-1][j], j
+	argmaxF := func(i int) int {
+		best, idx := math.Inf(-1), 0
+		for j := range f[i] {
+			if f[i][j] > best {
+				best, idx = f[i][j], j
+			}
 		}
+		return idx
 	}
-	res.Score = lastBest
-	idx := lastIdx
+	last := alive[len(alive)-1]
+	idx := argmaxF(last)
+	res.Score = f[last][idx]
+	noRouteTo := make(map[int]bool)
 	var nSkipped int64
-	for i := n - 1; i >= 0; i-- {
+	for ai := len(alive) - 1; ai >= 0; ai-- {
+		i := alive[ai]
 		res.Matched[i] = layers[i][idx]
 		res.Skipped[i] = layers[i][idx].pseudo
 		if res.Skipped[i] {
@@ -330,26 +555,43 @@ func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 				trace.Points[i].Skipped = true
 			}
 		}
-		if i > 0 {
-			idx = pre[i][idx]
-			if idx < 0 {
-				// Restarted chain: pick the best candidate of the
-				// previous layer independently.
-				best := math.Inf(-1)
-				for j := range layers[i-1] {
-					if f[i-1][j] > best {
-						best, idx = f[i-1][j], j
-					}
-				}
-			}
+		if ai == 0 {
+			break
 		}
+		p := alive[ai-1]
+		if p != i-1 {
+			// Dead gap on the chosen path.
+			if m.Cfg.OnBreak == BreakSplit {
+				res.Gaps = append(res.Gaps, Gap{From: p, To: i, Reason: GapNoCandidates})
+				noRouteTo[i] = true
+			}
+			idx = argmaxF(p)
+			continue
+		}
+		next := pre[i][idx]
+		if next < 0 {
+			// Restarted chain: pick the best candidate of the previous
+			// layer independently — a stitch boundary under Split.
+			if m.Cfg.OnBreak == BreakSplit {
+				res.Gaps = append(res.Gaps, Gap{From: p, To: i, Reason: GapViterbiBreak})
+				noRouteTo[i] = true
+			}
+			idx = argmaxF(p)
+			continue
+		}
+		idx = next
+	}
+	// Gaps were appended walking backward; restore trajectory order.
+	for a, b := 0, len(res.Gaps)-1; a < b; a, b = a+1, b-1 {
+		res.Gaps[a], res.Gaps[b] = res.Gaps[b], res.Gaps[a]
 	}
 	done()
 
 	done = stage(&st.ExpandS)
-	res.Path = m.expandPath(res.Matched)
+	res.Path = m.expandPath(res.Matched, alive, noRouteTo)
 	done()
 
+	res.Degraded = int(deg.Load())
 	obsMatches.Inc()
 	obsCandidates.Add(nCand)
 	obsTransEval.Add(nEval)
@@ -358,6 +600,9 @@ func (m *Matcher) Match(ct traj.CellTrajectory) (*Result, error) {
 	obsShortcutTries.Add(int64(attempts))
 	obsShortcutAdopt.Add(int64(adoptions))
 	obsPointsSkipped.Add(nSkipped)
+	obsMatchDegraded.Add(deg.Load())
+	obsMatchGaps.Add(int64(len(res.Gaps)))
+	obsDeadPoints.Add(int64(deadCount))
 	if timed {
 		elapsed := time.Since(start).Seconds()
 		obsMatchSeconds.Observe(elapsed)
@@ -379,9 +624,11 @@ var nopStage = func() {}
 // unreachable. A TransitionBatchModel scores the whole fan-out in one
 // call; otherwise pairwise Score runs on Cfg.Parallel workers (each
 // owning a disjoint set of target columns, so no write contention and
-// scheduling cannot change the table). It returns the (possibly grown)
-// scratch buffer for reuse by the next step.
-func (m *Matcher) fillSteps(ct traj.CellTrajectory, i int, from, to []Candidate, steps [][]float64, buf []float64) []float64 {
+// scheduling cannot change the table). Workers drain early when ctx is
+// canceled; the caller's per-step ctx check surfaces the error. It
+// returns the (possibly grown) scratch buffer for reuse by the next
+// step.
+func (m *Matcher) fillSteps(ctx context.Context, ct traj.CellTrajectory, i int, from, to []Candidate, steps [][]float64, buf []float64, deg *atomic.Int64) []float64 {
 	if bm, ok := m.Trans.(TransitionBatchModel); ok {
 		nTo := len(to)
 		if need := len(from) * nTo; cap(buf) < need {
@@ -394,7 +641,18 @@ func (m *Matcher) fillSteps(ct traj.CellTrajectory, i int, from, to []Candidate,
 			row := steps[j]
 			base := j * nTo
 			for kk := range to {
-				if pt := buf[base+kk]; !math.IsNaN(pt) {
+				// NaN is the batch protocol's unreachable sentinel; an
+				// Inf, however, is a misbehaving model — degrade it.
+				pt := buf[base+kk]
+				if math.IsInf(pt, 0) {
+					var ok bool
+					pt, ok = m.fallbackTrans(ct, i, &from[j], &to[kk])
+					deg.Add(1)
+					if !ok {
+						continue
+					}
+				}
+				if !math.IsNaN(pt) {
 					row[kk] = m.accum(pt * to[kk].Obs)
 				}
 			}
@@ -407,13 +665,16 @@ func (m *Matcher) fillSteps(ct traj.CellTrajectory, i int, from, to []Candidate,
 	}
 	scoreCol := func(kk int) {
 		for j := range from {
-			if w, ok := m.stepScore(ct, i, &from[j], &to[kk]); ok {
+			if w, ok := m.stepScore(ct, i, &from[j], &to[kk], deg); ok {
 				steps[j][kk] = w
 			}
 		}
 	}
 	if workers <= 1 {
 		for kk := range to {
+			if ctx.Err() != nil {
+				return buf
+			}
 			scoreCol(kk)
 		}
 		return buf
@@ -425,6 +686,9 @@ func (m *Matcher) fillSteps(ct traj.CellTrajectory, i int, from, to []Candidate,
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				kk := int(next.Add(1)) - 1
 				if kk >= len(to) {
 					return
@@ -438,13 +702,55 @@ func (m *Matcher) fillSteps(ct traj.CellTrajectory, i int, from, to []Candidate,
 }
 
 // stepScore is Eq. 13: W(a→b) = P_T(a→b) · P_O(b|x_i), accumulated
-// per the configured scoring.
-func (m *Matcher) stepScore(ct traj.CellTrajectory, i int, from, to *Candidate) (float64, bool) {
+// per the configured scoring. A NaN/Inf transition probability (a
+// misbehaving learned model) degrades to the classical Eq. 3
+// exponential instead of poisoning the Viterbi table; deg (optional)
+// counts those events.
+func (m *Matcher) stepScore(ct traj.CellTrajectory, i int, from, to *Candidate, deg *atomic.Int64) (float64, bool) {
 	pt, ok := m.Trans.Score(ct, i, from, to)
+	if fpTransNaN.Fail() {
+		pt = math.NaN()
+	}
 	if !ok {
 		return 0, false
 	}
+	if math.IsNaN(pt) || math.IsInf(pt, 0) {
+		if deg != nil {
+			deg.Add(1)
+		}
+		pt, ok = m.fallbackTrans(ct, i, from, to)
+		if !ok {
+			return 0, false
+		}
+	}
 	return m.accum(pt * to.Obs), true
+}
+
+// fallbackObs is the degraded-mode observation probability: the
+// classical Eq. 2 Gaussian of the candidate's distance.
+func (m *Matcher) fallbackObs(dist float64) float64 {
+	sigma := m.Cfg.FallbackSigma
+	if sigma <= 0 {
+		sigma = 450
+	}
+	z := dist / sigma
+	return math.Exp(-0.5 * z * z)
+}
+
+// fallbackTrans is the degraded-mode transition probability: the
+// classical Eq. 3 exponential over the route/straight-line distance
+// difference.
+func (m *Matcher) fallbackTrans(ct traj.CellTrajectory, i int, from, to *Candidate) (float64, bool) {
+	route, ok := m.Router.RouteBetween(from.Pos(), to.Pos())
+	if !ok {
+		return 0, false
+	}
+	beta := m.Cfg.FallbackBeta
+	if beta <= 0 {
+		beta = 500
+	}
+	straight := ct[i-1].P.Dist(ct[i].P)
+	return math.Exp(-math.Abs(straight-route.Dist) / beta), true
 }
 
 // accum maps a step probability into the additive scoring domain.
@@ -464,19 +770,28 @@ func (m *Matcher) accum(p float64) float64 {
 }
 
 // expandPath concatenates the shortest-path routes between consecutive
-// matched candidates into one traveled path.
-func (m *Matcher) expandPath(matched []Candidate) []roadnet.SegmentID {
+// matched alive candidates into one traveled path. Routing into a
+// point listed in noRouteTo (a Split-policy gap boundary) is
+// suppressed: both endpoints are emitted back-to-back and the Result's
+// Gaps record the discontinuity.
+func (m *Matcher) expandPath(matched []Candidate, alive []int, noRouteTo map[int]bool) []roadnet.SegmentID {
 	var path []roadnet.SegmentID
 	appendSeg := func(s roadnet.SegmentID) {
 		if len(path) == 0 || path[len(path)-1] != s {
 			path = append(path, s)
 		}
 	}
-	for i := 1; i < len(matched); i++ {
-		route, ok := m.Router.RouteBetween(matched[i-1].Pos(), matched[i].Pos())
+	for ai := 1; ai < len(alive); ai++ {
+		i, p := alive[ai], alive[ai-1]
+		if noRouteTo[i] {
+			appendSeg(matched[p].Seg)
+			appendSeg(matched[i].Seg)
+			continue
+		}
+		route, ok := m.Router.RouteBetween(matched[p].Pos(), matched[i].Pos())
 		if !ok {
 			// Unreachable gap: emit both endpoints and continue.
-			appendSeg(matched[i-1].Seg)
+			appendSeg(matched[p].Seg)
 			appendSeg(matched[i].Seg)
 			continue
 		}
@@ -484,8 +799,8 @@ func (m *Matcher) expandPath(matched []Candidate) []roadnet.SegmentID {
 			appendSeg(s)
 		}
 	}
-	if len(path) == 0 && len(matched) > 0 {
-		path = append(path, matched[0].Seg)
+	if len(path) == 0 && len(alive) > 0 {
+		path = append(path, matched[alive[0]].Seg)
 	}
 	return path
 }

@@ -3,6 +3,7 @@ package hmm
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/roadnet"
 	"repro/internal/traj"
@@ -19,9 +20,15 @@ import (
 //
 // It returns how many table entries improved (adoptions) and how many
 // shortcut constructions were examined (attempts) for telemetry.
-func (m *Matcher) addShortcuts(ct traj.CellTrajectory, layers [][]Candidate, f [][]float64, pre [][]int, steps [][][]float64) (adoptions, attempts int) {
+func (m *Matcher) addShortcuts(ct traj.CellTrajectory, layers [][]Candidate, f [][]float64, pre [][]int, steps [][][]float64, deg *atomic.Int64) (adoptions, attempts int) {
 	n := len(ct)
 	for i := 2; i < n; i++ {
+		// A shortcut needs the contiguous chain i-2 → i-1 → i; a dead
+		// point anywhere in the window leaves its step table nil (the
+		// chain restarted there) and the window is skipped.
+		if steps[i] == nil || steps[i-1] == nil {
+			continue
+		}
 		// Pre-compute, per middle candidate l, its best grand-predecessor
 		// score: bestTwo[l] pairs with Eq. 20's inner max over j.
 		nCur := len(layers[i]) // layers may grow behind us; bound to the original set
@@ -43,8 +50,8 @@ func (m *Matcher) addShortcuts(ct traj.CellTrajectory, layers [][]Candidate, f [
 					continue
 				}
 				u.Obs = m.Obs.Score(ct, i-1, &u)
-				w1, ok1 := m.stepScore(ct, i-1, grand, &u)
-				w2, ok2 := m.stepScore(ct, i, &u, cur)
+				w1, ok1 := m.stepScore(ct, i-1, grand, &u, deg)
+				w2, ok2 := m.stepScore(ct, i, &u, cur, deg)
 				if !ok1 || !ok2 {
 					continue
 				}

@@ -203,9 +203,15 @@ func BuildGraph(net *roadnet.Network, cells *cellular.Net, trips []*traj.Trip) (
 	g.CO.RowNormalize()
 	g.SQ.RowNormalize()
 	g.TP.RowNormalize()
-	g.COt = g.CO.Transpose()
-	g.SQt = g.SQ.Transpose()
-	g.TPt = g.TP.Transpose()
+	if g.COt, err = g.CO.Transpose(); err != nil {
+		return nil, fmt.Errorf("mrg: CO: %w", err)
+	}
+	if g.SQt, err = g.SQ.Transpose(); err != nil {
+		return nil, fmt.Errorf("mrg: SQ: %w", err)
+	}
+	if g.TPt, err = g.TP.Transpose(); err != nil {
+		return nil, fmt.Errorf("mrg: TP: %w", err)
+	}
 	return g, nil
 }
 
@@ -218,5 +224,9 @@ func (g *Graph) Merged() (*nn.Sparse, *nn.Sparse, error) {
 		return nil, nil, fmt.Errorf("mrg: merged: %w", err)
 	}
 	m.RowNormalize()
-	return m, m.Transpose(), nil
+	mt, err := m.Transpose()
+	if err != nil {
+		return nil, nil, fmt.Errorf("mrg: merged: %w", err)
+	}
+	return m, mt, nil
 }

@@ -2,9 +2,17 @@ package nn
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
+
+	"repro/internal/faultinject"
 )
+
+// fpLoadCorrupt simulates a corrupt model file at the deserialization
+// boundary (chaos tests; no-op unless armed via faultinject).
+var fpLoadCorrupt = faultinject.New("nn.load.corrupt")
 
 // paramFile is the on-disk JSON schema for a parameter set.
 type paramFile struct {
@@ -33,16 +41,33 @@ func SaveParams(w io.Writer, params []*Param) error {
 
 // LoadParams restores weights written by SaveParams into the given
 // parameters, matching by name. Every parameter must be found with the
-// same shape; extra entries in the file are ignored.
+// same shape; extra entries in the file are ignored. The file is
+// validated before any destination parameter is touched: truncated
+// files, tensors whose weight count disagrees with their declared
+// shape, and tensors containing NaN or ±Inf are all rejected with a
+// descriptive error — a model that loads is a model whose every weight
+// is finite, so corruption surfaces here instead of as NaN scores (or
+// panics) mid-match.
 func LoadParams(r io.Reader, params []*Param) error {
 	var f paramFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+			return fmt.Errorf("nn: load params: truncated file: %w", err)
+		}
 		return fmt.Errorf("nn: load params: %w", err)
 	}
 	byName := make(map[string]paramEntry, len(f.Params))
 	for _, e := range f.Params {
+		if err := checkEntry(e); err != nil {
+			return err
+		}
 		byName[e.Name] = e
 	}
+	if fpLoadCorrupt.Fail() {
+		return fmt.Errorf("nn: load params: fault injected: %s", fpLoadCorrupt.Name())
+	}
+	// Validate every destination before writing any, so a bad file
+	// cannot leave a model half-loaded.
 	for _, p := range params {
 		e, ok := byName[p.Name]
 		if !ok {
@@ -52,7 +77,28 @@ func LoadParams(r io.Reader, params []*Param) error {
 			return fmt.Errorf("nn: load params: %q shape %d×%d, file has %d×%d",
 				p.Name, p.W.R, p.W.C, e.R, e.C)
 		}
-		copy(p.W.W, e.W)
+	}
+	for _, p := range params {
+		copy(p.W.W, byName[p.Name].W)
+	}
+	return nil
+}
+
+// checkEntry validates one decoded tensor: the weight count must match
+// the declared shape (a mismatch means a truncated or hand-edited
+// file) and every weight must be finite (standard JSON cannot encode
+// NaN/Inf, but writers in other formats and future binary schemas can;
+// the invariant "a loaded model has only finite weights" is enforced
+// here regardless of the wire format).
+func checkEntry(e paramEntry) error {
+	if len(e.W) != e.R*e.C {
+		return fmt.Errorf("nn: load params: %q has %d weights for declared shape %d×%d (truncated or corrupt file)",
+			e.Name, len(e.W), e.R, e.C)
+	}
+	for i, w := range e.W {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("nn: load params: %q weight %d is %v (corrupt file)", e.Name, i, w)
+		}
 	}
 	return nil
 }

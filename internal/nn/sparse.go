@@ -78,8 +78,10 @@ func (s *Sparse) RowNormalize() {
 	}
 }
 
-// Transpose returns a new CSR matrix equal to sᵀ.
-func (s *Sparse) Transpose() *Sparse {
+// Transpose returns a new CSR matrix equal to sᵀ. An error is only
+// possible for a corrupted receiver (indices outside the declared
+// shape), matching the package's construction error discipline.
+func (s *Sparse) Transpose() (*Sparse, error) {
 	triples := make([]Triple, 0, s.NNZ())
 	for i := 0; i < s.R; i++ {
 		for k := s.rowPtr[i]; k < s.rowPtr[i+1]; k++ {
@@ -88,10 +90,9 @@ func (s *Sparse) Transpose() *Sparse {
 	}
 	t, err := NewSparse(s.C, s.R, triples)
 	if err != nil {
-		// Unreachable: indices come from a valid matrix.
-		panic(err)
+		return nil, fmt.Errorf("nn: transpose: %w", err)
 	}
-	return t
+	return t, nil
 }
 
 // MulInto computes dst = s · x for dense x. dst must be s.R×x.C and

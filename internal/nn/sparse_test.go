@@ -61,7 +61,10 @@ func TestSparseMatchesDense(t *testing.T) {
 			}
 		}
 		// Transpose agreement.
-		st := s.Transpose()
+		st, err := s.Transpose()
+		if err != nil {
+			t.Fatal(err)
+		}
 		denseT := NewMat(c, r)
 		TransposeInto(denseT, dense)
 		y := NewMat(r, k)
@@ -103,7 +106,10 @@ func TestGradSpMM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := s.Transpose()
+	st, err := s.Transpose()
+	if err != nil {
+		t.Fatal(err)
+	}
 	p := NewParam("x", 3, 2, rng)
 	checkGrad(t, "spmm", p, func(tp *Tape) *T {
 		y := tp.SpMM(s, st, tp.Var(p))

@@ -1,0 +1,133 @@
+package traj
+
+import (
+	"fmt"
+	"math"
+)
+
+// SanitizeMode selects how trajectory sanitization treats malformed
+// input points — NaN/Inf coordinates or timestamps, non-monotonic
+// timestamps, and zero-duration duplicates. Real cellular feeds
+// contain all three (clock glitches, handover artifacts, decoder
+// bugs), and each poisons a different stage of the pipeline: NaN
+// coordinates void spatial lookups, and non-increasing timestamps
+// break the speed filter and transition features.
+type SanitizeMode int
+
+const (
+	// SanitizeStrict rejects a trajectory containing any malformed
+	// point with a descriptive error (the default: garbage in, error
+	// out — never a crash downstream).
+	SanitizeStrict SanitizeMode = iota
+	// SanitizeDrop silently drops malformed points and matches the
+	// rest, reporting what was removed.
+	SanitizeDrop
+	// SanitizeOff disables sanitization (the pre-hardening behavior;
+	// malformed points flow into matching and surface as candidate
+	// failures there).
+	SanitizeOff
+)
+
+// String returns the CLI spelling of the mode.
+func (m SanitizeMode) String() string {
+	switch m {
+	case SanitizeStrict:
+		return "strict"
+	case SanitizeDrop:
+		return "drop"
+	case SanitizeOff:
+		return "off"
+	default:
+		return fmt.Sprintf("SanitizeMode(%d)", int(m))
+	}
+}
+
+// ParseSanitizeMode parses the CLI spelling of a sanitize mode.
+func ParseSanitizeMode(s string) (SanitizeMode, error) {
+	switch s {
+	case "strict":
+		return SanitizeStrict, nil
+	case "drop":
+		return SanitizeDrop, nil
+	case "off":
+		return SanitizeOff, nil
+	default:
+		return 0, fmt.Errorf("traj: unknown sanitize mode %q (want strict, drop, or off)", s)
+	}
+}
+
+// SanitizeReport counts what Sanitize removed.
+type SanitizeReport struct {
+	// BadCoords counts points dropped for NaN/Inf coordinates or
+	// timestamps.
+	BadCoords int
+	// BadTimes counts points dropped for non-increasing timestamps
+	// (clock glitches and zero-duration duplicates).
+	BadTimes int
+}
+
+// Dropped returns the total number of removed points.
+func (r SanitizeReport) Dropped() int { return r.BadCoords + r.BadTimes }
+
+// FinitePoint reports whether the point's coordinates and timestamp
+// are all finite — the per-point half of Sanitize, exported for
+// streaming pipelines that validate points as they arrive.
+func FinitePoint(p CellPoint) bool { return finitePoint(p) }
+
+func finitePoint(p CellPoint) bool {
+	return !math.IsNaN(p.P.X) && !math.IsInf(p.P.X, 0) &&
+		!math.IsNaN(p.P.Y) && !math.IsInf(p.P.Y, 0) &&
+		!math.IsNaN(p.T) && !math.IsInf(p.T, 0)
+}
+
+// Sanitize validates a cellular trajectory per the mode. Strict mode
+// returns the input unchanged or an error naming the first malformed
+// point. Drop mode returns a copy with malformed points removed
+// (non-finite coordinates/timestamps first, then any point whose
+// timestamp does not strictly increase over the last kept point) and a
+// report of what went. Off returns the input unchanged. A clean
+// trajectory is returned as-is in every mode with a zero report.
+func Sanitize(ct CellTrajectory, mode SanitizeMode) (CellTrajectory, SanitizeReport, error) {
+	var rep SanitizeReport
+	if mode == SanitizeOff || len(ct) == 0 {
+		return ct, rep, nil
+	}
+	clean := true
+	lastT := math.Inf(-1)
+	for i, p := range ct {
+		if !finitePoint(p) {
+			if mode == SanitizeStrict {
+				return nil, rep, fmt.Errorf("traj: point %d has non-finite coordinates or timestamp (%v, %v, t=%v)", i, p.P.X, p.P.Y, p.T)
+			}
+			clean = false
+			continue
+		}
+		if p.T <= lastT {
+			if mode == SanitizeStrict {
+				return nil, rep, fmt.Errorf("traj: point %d timestamp %v does not increase over %v", i, p.T, lastT)
+			}
+			clean = false
+			continue
+		}
+		lastT = p.T
+	}
+	if clean {
+		return ct, rep, nil
+	}
+	// Drop mode with something to drop: rebuild.
+	out := make(CellTrajectory, 0, len(ct))
+	lastT = math.Inf(-1)
+	for _, p := range ct {
+		if !finitePoint(p) {
+			rep.BadCoords++
+			continue
+		}
+		if p.T <= lastT {
+			rep.BadTimes++
+			continue
+		}
+		lastT = p.T
+		out = append(out, p)
+	}
+	return out, rep, nil
+}

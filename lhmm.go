@@ -77,13 +77,68 @@ type (
 type (
 	// Config parameterizes LHMM training and inference.
 	Config = core.Config
-	// Model is a trained LHMM.
+	// Model is a trained LHMM. Model.MatchContext matches with
+	// cancellation and a panic-hardened boundary.
 	Model = core.Model
 	// MatchResult is the outcome of matching one trajectory.
 	MatchResult = hmm.Result
 	// Candidate is one candidate road for one trajectory point.
 	Candidate = hmm.Candidate
 )
+
+// Fault-tolerance types. A matcher configured with OnBreak and
+// Sanitize policies survives dead points (no candidate roads), corrupt
+// model scores, and malformed input instead of erroring or panicking;
+// see the Robustness sections of README.md and DESIGN.md.
+type (
+	// BreakPolicy selects how matching treats a point with no
+	// candidate roads: BreakError (default), BreakSkip, or BreakSplit.
+	BreakPolicy = hmm.BreakPolicy
+	// Gap marks a stitch discontinuity in a BreakSplit match.
+	Gap = hmm.Gap
+	// GapReason explains a Gap (no candidates vs. Viterbi break).
+	GapReason = hmm.GapReason
+	// SanitizeMode selects input validation: SanitizeStrict (default),
+	// SanitizeDrop, or SanitizeOff.
+	SanitizeMode = traj.SanitizeMode
+	// SanitizeReport counts what drop-mode sanitization removed.
+	SanitizeReport = traj.SanitizeReport
+)
+
+// Break policies (see hmm.BreakPolicy).
+const (
+	BreakError = hmm.BreakError
+	BreakSkip  = hmm.BreakSkip
+	BreakSplit = hmm.BreakSplit
+)
+
+// Sanitize modes (see traj.SanitizeMode).
+const (
+	SanitizeStrict = traj.SanitizeStrict
+	SanitizeDrop   = traj.SanitizeDrop
+	SanitizeOff    = traj.SanitizeOff
+)
+
+// Gap reasons (see hmm.GapReason).
+const (
+	GapNoCandidates = hmm.GapNoCandidates
+	GapViterbiBreak = hmm.GapViterbiBreak
+)
+
+// ParseBreakPolicy parses the CLI spelling of a break policy
+// ("error", "skip", or "split").
+func ParseBreakPolicy(s string) (BreakPolicy, error) { return hmm.ParseBreakPolicy(s) }
+
+// ParseSanitizeMode parses the CLI spelling of a sanitize mode
+// ("strict", "drop", or "off").
+func ParseSanitizeMode(s string) (SanitizeMode, error) { return traj.ParseSanitizeMode(s) }
+
+// Sanitize validates or repairs a cellular trajectory per the mode —
+// the same pass Model.Match applies (per Config.Sanitize), exported
+// for pipelines that want to sanitize ahead of preprocessing.
+func Sanitize(ct CellTrajectory, mode SanitizeMode) (CellTrajectory, SanitizeReport, error) {
+	return traj.Sanitize(ct, mode)
+}
 
 // Evaluation types.
 type (

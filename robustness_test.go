@@ -1,0 +1,150 @@
+package lhmm
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestPublicAPIDegenerateInputs exercises the hostile inputs a real
+// cellular feed produces against the public facade: whatever happens,
+// Match must return a result or an error — never panic.
+func TestPublicAPIDegenerateInputs(t *testing.T) {
+	ds := tinyDataset(t)
+	model, err := Train(ds, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ds.TestTrips()[0].Cell
+
+	t.Run("single-point", func(t *testing.T) {
+		res, err := model.Match(base[:1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Path) == 0 {
+			t.Error("no path for single point")
+		}
+	})
+
+	t.Run("nan-coords-strict", func(t *testing.T) {
+		ct := append(CellTrajectory(nil), base...)
+		ct[1].P.X = math.NaN()
+		if _, err := model.Match(ct); err == nil {
+			t.Error("NaN coordinate under strict sanitization did not error")
+		}
+	})
+
+	t.Run("nan-coords-drop", func(t *testing.T) {
+		model.Cfg.Sanitize = SanitizeDrop
+		defer func() { model.Cfg.Sanitize = SanitizeStrict }()
+		ct := append(CellTrajectory(nil), base...)
+		ct[1].P.X = math.NaN()
+		res, err := model.Match(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sanitize.BadCoords != 1 {
+			t.Errorf("BadCoords = %d, want 1", res.Sanitize.BadCoords)
+		}
+		if len(res.Matched) != len(ct)-1 {
+			t.Errorf("matched %d points, want %d", len(res.Matched), len(ct)-1)
+		}
+	})
+
+	t.Run("duplicate-timestamps", func(t *testing.T) {
+		model.Cfg.Sanitize = SanitizeDrop
+		defer func() { model.Cfg.Sanitize = SanitizeStrict }()
+		ct := append(CellTrajectory(nil), base...)
+		ct[2].T = ct[1].T // zero-duration duplicate
+		res, err := model.Match(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sanitize.BadTimes != 1 {
+			t.Errorf("BadTimes = %d, want 1", res.Sanitize.BadTimes)
+		}
+	})
+
+	t.Run("all-bad-points", func(t *testing.T) {
+		model.Cfg.Sanitize = SanitizeDrop
+		defer func() { model.Cfg.Sanitize = SanitizeStrict }()
+		ct := CellTrajectory{
+			{P: Point{X: math.NaN(), Y: 0}, T: 0},
+			{P: Point{X: math.Inf(1), Y: 0}, T: 60},
+		}
+		if _, err := model.Match(ct); err == nil {
+			t.Error("trajectory with no valid points did not error")
+		}
+	})
+
+	t.Run("cancellation", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := model.MatchContext(ctx, base); !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	})
+
+	t.Run("chaos-batch-nan", func(t *testing.T) {
+		t.Cleanup(faultinject.DisarmAll)
+		if err := faultinject.Arm("core.trans.nan:2"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := model.Match(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degraded == 0 {
+			t.Error("injected NaN scores produced no degraded events")
+		}
+		if len(res.Path) == 0 {
+			t.Error("empty path under degraded scoring")
+		}
+	})
+
+	t.Run("chaos-dead-candidates", func(t *testing.T) {
+		t.Cleanup(faultinject.DisarmAll)
+		model.Cfg.OnBreak = BreakSplit
+		defer func() { model.Cfg.OnBreak = BreakError }()
+		if err := faultinject.Arm("hmm.candidates.empty:3"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := model.Match(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dead := 0
+		for _, d := range res.Dead {
+			if d {
+				dead++
+			}
+		}
+		if dead == 0 {
+			t.Error("injected empty candidate sets produced no dead points")
+		}
+	})
+}
+
+// TestPublicAPISanitizeHelpers covers the facade's sanitization
+// re-exports.
+func TestPublicAPISanitizeHelpers(t *testing.T) {
+	if p, err := ParseBreakPolicy("split"); err != nil || p != BreakSplit {
+		t.Errorf("ParseBreakPolicy(split) = %v, %v", p, err)
+	}
+	if m, err := ParseSanitizeMode("drop"); err != nil || m != SanitizeDrop {
+		t.Errorf("ParseSanitizeMode(drop) = %v, %v", m, err)
+	}
+	ct := CellTrajectory{
+		{P: Point{X: 0, Y: 0}, T: 0},
+		{P: Point{X: math.NaN(), Y: 0}, T: 60},
+		{P: Point{X: 10, Y: 0}, T: 120},
+	}
+	out, rep, err := Sanitize(ct, SanitizeDrop)
+	if err != nil || len(out) != 2 || rep.BadCoords != 1 {
+		t.Errorf("Sanitize: out=%d rep=%+v err=%v", len(out), rep, err)
+	}
+}
