@@ -1,0 +1,192 @@
+// Command lhmm-serve is the online map-matching service: it loads a
+// dataset and trained LHMM weights, then serves whole-trajectory and
+// streaming-session matching over HTTP/JSON.
+//
+// Usage:
+//
+//	lhmm-serve -addr :8080 -data data.json -model model.json
+//
+// Endpoints:
+//
+//	POST   /v1/match                  match a whole trajectory (byte-identical to `lhmm match -json`)
+//	POST   /v1/sessions               open a streaming session (body: {"lag": N})
+//	POST   /v1/sessions/{id}/points   push points, get finalized matches back
+//	POST   /v1/sessions/{id}/finish   flush and close a session
+//	GET    /v1/sessions/{id}          session progress counters
+//	DELETE /v1/sessions/{id}          discard a session
+//	POST   /v1/reload                 hot-reload model weights from -model
+//	GET    /healthz /readyz /metrics  liveness, readiness, telemetry snapshot
+//
+// SIGHUP also triggers a hot reload; SIGINT/SIGTERM drain in-flight
+// matches (up to -drain-timeout) before exiting. A failed reload —
+// missing, truncated, or corrupt weights — keeps the previous model
+// serving.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	lhmm "repro"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/traj"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lhmm-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lhmm-serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	data := fs.String("data", "dataset.json", "dataset file from `lhmm datagen`")
+	modelPath := fs.String("model", "model.json", "model weights file (re-read on reload)")
+	dim := fs.Int("dim", 32, "embedding dimension the model was trained with")
+	k := fs.Int("k", 30, "candidates per point")
+	seed := fs.Int64("seed", 1, "seed the model was trained with")
+	parallel := fs.Int("parallel", 0, "transition fan-out workers per match (<=1 sequential; output identical)")
+	onBreak := fs.String("on-break", "error", "default dead-point policy: error|skip|split")
+	sanitize := fs.String("sanitize", "strict", "default input validation: strict|drop|off")
+	lag := fs.Int("lag", 2, "default streaming emit lag in points")
+	workers := fs.Int("workers", 4, "concurrent matching workers")
+	queue := fs.Int("queue", 64, "admission queue depth before shedding 429s")
+	maxSessions := fs.Int("max-sessions", 1024, "cap on live streaming sessions")
+	sessionTTL := fs.Duration("session-ttl", 5*time.Minute, "evict sessions idle longer than this")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request match timeout ceiling")
+	drainTimeout := fs.Duration("drain-timeout", 20*time.Second, "max wait for in-flight matches on shutdown")
+	of := obs.BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	obsCleanup, err := of.Apply()
+	if err != nil {
+		return err
+	}
+	defer obsCleanup() //nolint:errcheck // exiting anyway
+
+	if err := faultinject.ArmFromEnv(); err != nil {
+		return err
+	}
+	if fp := faultinject.Armed(); len(fp) > 0 {
+		fmt.Fprintf(os.Stderr, "lhmm-serve: fault injection armed via %s: %s\n",
+			faultinject.EnvVar, strings.Join(fp, ","))
+	}
+
+	f, err := os.Open(*data)
+	if err != nil {
+		return err
+	}
+	ds, err := traj.ReadDataset(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	breakPolicy, err := lhmm.ParseBreakPolicy(*onBreak)
+	if err != nil {
+		return err
+	}
+	sanitizeMode, err := lhmm.ParseSanitizeMode(*sanitize)
+	if err != nil {
+		return err
+	}
+
+	// The loader runs once at startup and again on every reload: it
+	// rebuilds a fresh model skeleton over the resident dataset and
+	// restores the (possibly replaced) weights file. Load validates
+	// every parameter before writing any, so a bad file fails the whole
+	// reload and the registry keeps the old model.
+	loader := func() (*lhmm.Model, error) {
+		cfg := lhmm.DefaultConfig()
+		cfg.Dim = *dim
+		cfg.K = *k
+		cfg.Seed = *seed
+		cfg.Parallel = *parallel
+		cfg.OnBreak = breakPolicy
+		cfg.Sanitize = sanitizeMode
+		m, err := lhmm.NewModel(ds, ds.TrainTrips(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		wf, err := os.Open(*modelPath)
+		if err != nil {
+			return nil, err
+		}
+		defer wf.Close()
+		if err := m.Load(wf); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+
+	reg := serve.NewRegistry(loader)
+	if err := reg.Reload(); err != nil {
+		return fmt.Errorf("initial model load: %w", err)
+	}
+
+	srv := serve.New(reg, serve.Config{
+		Workers:      *workers,
+		Queue:        *queue,
+		MaxSessions:  *maxSessions,
+		SessionTTL:   *sessionTTL,
+		DefaultLag:   *lag,
+		MatchTimeout: *timeout,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGHUP hot-reloads; SIGINT/SIGTERM drain and exit.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := reg.Reload(); err != nil {
+				fmt.Fprintln(os.Stderr, "lhmm-serve: reload:", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "lhmm-serve: model reloaded")
+			}
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "lhmm-serve: serving %s on %s (dim %d, k %d, %d workers)\n",
+		ds.Name, *addr, *dim, *k, *workers)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "lhmm-serve: %s: draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "lhmm-serve:", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,6 +26,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/traj"
 )
@@ -147,7 +149,12 @@ func cmdDatagen(args []string) error {
 	return nil
 }
 
+// loadDataset reads a dataset file; "-" reads stdin, so datasets can
+// be piped between tools without touching disk.
 func loadDataset(path string) (*traj.Dataset, error) {
+	if path == "-" {
+		return traj.ReadDataset(os.Stdin)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -226,6 +233,9 @@ func cmdMatch(args []string) error {
 	dim := fs.Int("dim", 32, "embedding dimension the model was trained with")
 	k := fs.Int("k", 30, "candidates per point")
 	seed := fs.Int64("seed", 1, "seed the model was trained with")
+	trajPath := fs.String("traj", "", "match a trajectory from a MatchRequest JSON file instead of -trip ('-' for stdin)")
+	jsonOut := fs.Bool("json", false, "write the result as MatchResponse JSON on stdout (the lhmm-serve wire format)")
+	dumpTraj := fs.String("dump-traj", "", "write the -trip trajectory as MatchRequest JSON and exit ('-' for stdout; no model needed)")
 	geojson := fs.String("geojson", "", "optional GeoJSON output file")
 	traceOut := fs.String("trace", "", "write the per-trajectory match trace as JSON ('-' for stdout)")
 	parallel := fs.Int("parallel", 0, "transition fan-out workers per match (<=1 sequential; output identical)")
@@ -240,6 +250,9 @@ func cmdMatch(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *dumpTraj != "" {
+		return dumpTrajectory(ds, *trip, *dumpTraj)
+	}
 	model, err := loadModel(ds, *modelPath, *dim, *k, *seed)
 	if err != nil {
 		return err
@@ -252,12 +265,41 @@ func cmdMatch(args []string) error {
 	if model.Cfg.Sanitize, err = lhmm.ParseSanitizeMode(*sanitize); err != nil {
 		return err
 	}
-	tests := ds.TestTrips()
-	if *trip < 0 || *trip >= len(tests) {
-		return fmt.Errorf("trip index %d out of range (have %d test trips)", *trip, len(tests))
+
+	// The trajectory comes either from a MatchRequest JSON file (the
+	// lhmm-serve wire format; no ground truth, so no accuracy metrics)
+	// or from a test trip of the dataset.
+	var ct traj.CellTrajectory
+	var tr *traj.Trip
+	if *trajPath != "" {
+		req, err := readMatchRequest(*trajPath)
+		if err != nil {
+			return err
+		}
+		if req.Options != nil {
+			if o := req.Options.OnBreak; o != "" {
+				if model.Cfg.OnBreak, err = lhmm.ParseBreakPolicy(o); err != nil {
+					return err
+				}
+			}
+			if sm := req.Options.Sanitize; sm != "" {
+				if model.Cfg.Sanitize, err = lhmm.ParseSanitizeMode(sm); err != nil {
+					return err
+				}
+			}
+		}
+		if ct, err = req.Trajectory(ds.Cells); err != nil {
+			return err
+		}
+	} else {
+		tests := ds.TestTrips()
+		if *trip < 0 || *trip >= len(tests) {
+			return fmt.Errorf("trip index %d out of range (have %d test trips)", *trip, len(tests))
+		}
+		tr = tests[*trip]
+		ct = tr.Cell
 	}
-	tr := tests[*trip]
-	res, err := model.Match(tr.Cell)
+	res, err := model.Match(ct)
 	if err != nil {
 		return err
 	}
@@ -275,10 +317,20 @@ func cmdMatch(args []string) error {
 			fmt.Printf("match trace -> %s\n", *traceOut)
 		}
 	}
-	pm := lhmm.EvalPath(ds.Net, res.Path, tr.Path, 50)
-	fmt.Printf("trip %d: %d cellular points -> %d road segments\n", tr.ID, len(tr.Cell), len(res.Path))
-	fmt.Printf("precision %.3f  recall %.3f  RMF %.3f  CMF50 %.3f\n",
-		pm.Precision, pm.Recall, pm.RMF, pm.CMF)
+	if *jsonOut {
+		// The exact bytes lhmm-serve answers for this trajectory: same
+		// struct, same encoder. `diff` against a server response is the
+		// online/offline parity check.
+		return json.NewEncoder(os.Stdout).Encode(serve.ResultJSON(res))
+	}
+	if tr != nil {
+		pm := lhmm.EvalPath(ds.Net, res.Path, tr.Path, 50)
+		fmt.Printf("trip %d: %d cellular points -> %d road segments\n", tr.ID, len(tr.Cell), len(res.Path))
+		fmt.Printf("precision %.3f  recall %.3f  RMF %.3f  CMF50 %.3f\n",
+			pm.Precision, pm.Recall, pm.RMF, pm.CMF)
+	} else {
+		fmt.Printf("trajectory: %d cellular points -> %d road segments\n", len(ct), len(res.Path))
+	}
 	skips := 0
 	for _, s := range res.Skipped {
 		if s {
@@ -305,7 +357,7 @@ func cmdMatch(args []string) error {
 	if res.Degraded > 0 {
 		fmt.Printf("degraded scoring events (classical fallback): %d\n", res.Degraded)
 	}
-	if *geojson != "" {
+	if *geojson != "" && tr != nil {
 		cs := caseFor(ds, tr, res.Path)
 		data, err := cs.GeoJSON(geo.Anchor{Origin: geo.LatLon{Lat: 30.25, Lon: 120.17}})
 		if err != nil {
@@ -317,6 +369,49 @@ func cmdMatch(args []string) error {
 		fmt.Printf("geometry -> %s\n", *geojson)
 	}
 	return nil
+}
+
+// dumpTrajectory writes the test trip's cellular trajectory as
+// MatchRequest JSON — the body format of POST /v1/match and of
+// `lhmm match -traj`.
+func dumpTrajectory(ds *traj.Dataset, trip int, out string) error {
+	tests := ds.TestTrips()
+	if trip < 0 || trip >= len(tests) {
+		return fmt.Errorf("trip index %d out of range (have %d test trips)", trip, len(tests))
+	}
+	req := serve.PointsRequest(tests[trip].Cell)
+	data, err := json.MarshalIndent(req, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("trajectory (%d points) -> %s\n", len(req.Points), out)
+	return nil
+}
+
+// readMatchRequest reads a MatchRequest JSON file ("-" for stdin).
+func readMatchRequest(path string) (*serve.MatchRequest, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var req serve.MatchRequest
+	if err := json.NewDecoder(r).Decode(&req); err != nil {
+		return nil, fmt.Errorf("reading trajectory %s: %w", path, err)
+	}
+	return &req, nil
 }
 
 func caseFor(ds *traj.Dataset, tr *traj.Trip, path []lhmm.SegmentID) *eval.CaseStudy {

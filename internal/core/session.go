@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -168,42 +167,10 @@ func (s *session) obsScore(i int, sid roadnet.SegmentID, dist float64) float64 {
 // candidate of point i in two batched MLP applications: one P×2d
 // product through the Eq. 7 MLP and one P×3 product through the fuse
 // MLP, instead of P single-row calls. ws scratch; scores caller-owned.
+// The arithmetic lives in Model.obsScoreBatchCtx (stream.go), shared
+// with the streaming session.
 func (s *session) obsScoreBatch(ws *nn.Workspace, i int, cands []hmm.Candidate, scores []float64) {
-	p := len(cands)
-	d := s.m.Cfg.Dim
-	imp := ws.TakeVec(p)
-	if s.m.Cfg.DisableImplicitObs {
-		for j := range imp {
-			imp[j] = 0.5
-		}
-	} else {
-		feat := ws.Take(p, 2*d)
-		ctxRow := s.ctx.Row(i)
-		for j := range cands {
-			row := feat.Row(j)
-			copy(row[:d], s.m.segEmb(cands[j].Seg))
-			copy(row[d:], ctxRow)
-		}
-		logits := s.m.ObsMLP.ApplyWS(ws, feat) // p×2
-		for j := 0; j < p; j++ {
-			lr := logits.Row(j)
-			imp[j] = softmaxP1(lr[0], lr[1])
-		}
-	}
-	fuse := ws.Take(p, 3)
-	tower := s.ct[i].Tower
-	for j := range cands {
-		row := fuse.Row(j)
-		row[0] = imp[j]
-		row[1] = s.m.gaussDist(cands[j].Dist)
-		row[2] = s.m.Graph.CoOccurrenceNorm(tower, cands[j].Seg)
-	}
-	logits := s.m.ObsFuse.ApplyWS(ws, fuse) // p×2
-	for j := 0; j < p; j++ {
-		lr := logits.Row(j)
-		scores[j] = lr[1] - lr[0]
-	}
-	obsObsBatched.Add(int64(p))
+	s.m.obsScoreBatchCtx(ws, s.ct[i].Tower, s.ctx.Row(i), cands, scores)
 }
 
 // roadProb evaluates Eq. 10 with caching: the likelihood that segment
@@ -251,14 +218,7 @@ func (s *session) transFeatures(ws *nn.Workspace, i int, route roadnet.Route, st
 		}
 		pRoute = sum / float64(len(route.Segs))
 	}
-	lenSim := math.Exp(-math.Abs(straight-route.Dist) / 500)
-	var turn float64
-	for j := 1; j < len(route.Segs); j++ {
-		a := s.m.Net.Segment(route.Segs[j-1])
-		b := s.m.Net.Segment(route.Segs[j])
-		turn += geoAngleDiff(a.Bearing(), b.Bearing())
-	}
-	turnSim := math.Exp(-turn / math.Pi)
+	lenSim, turnSim := routeSims(s.m.Net, route, straight)
 	return [3]float64{pRoute, lenSim, turnSim}
 }
 
@@ -309,67 +269,16 @@ func (m *Model) candidatePool(ct traj.CellTrajectory, i int) []roadnet.SegmentID
 // scored as one batch (obsScoreBatch).
 func (s *session) Candidates(ct traj.CellTrajectory, i, k int) []hmm.Candidate {
 	pool := s.m.candidatePool(s.ct, i)
-	cands := make([]hmm.Candidate, 0, len(pool))
-	for _, sid := range pool {
-		c := hmm.Candidate{Seg: sid}
-		c.Proj, c.Frac = s.m.Net.Project(sid, s.ct[i].P)
-		c.Dist = c.Proj.Dist(s.ct[i].P)
-		cands = append(cands, c)
-	}
+	cands := poolCandidates(s.m.Net, s.ct[i].P, pool)
 	s.ws.Reset()
 	scores := s.ws.TakeVec(len(cands))
 	s.obsScoreBatch(s.ws, i, cands, scores)
 	// Across-pool softmax with cached normalizer so shortcut
-	// pseudo-candidates score consistently later.
-	mx := scores[0]
-	for _, v := range scores[1:] {
-		if v > mx {
-			mx = v
-		}
-	}
-	var z float64
-	for _, v := range scores {
-		z += math.Exp(v - mx)
-	}
+	// pseudo-candidates score consistently later (selectTopK returns
+	// the pool max and normalizer it used).
+	out, mx, z := selectTopK(cands, scores, k)
 	s.obsMax[i] = mx
 	s.obsZ[i] = z
-	for j := range cands {
-		cands[j].Obs = math.Exp(scores[j]-mx) / z
-	}
-	if k >= len(cands) {
-		sort.Slice(cands, func(a, b int) bool { return cands[a].Obs > cands[b].Obs })
-		return cands
-	}
-	// Mark the nearest k/3 by distance as guaranteed.
-	byDist := make([]int, len(cands))
-	for i := range byDist {
-		byDist[i] = i
-	}
-	sort.Slice(byDist, func(a, b int) bool { return cands[byDist[a]].Dist < cands[byDist[b]].Dist })
-	guaranteed := make(map[int]bool, k/3+1)
-	for _, idx := range byDist[:k/3+1] {
-		guaranteed[idx] = true
-	}
-	order := make([]int, len(cands))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ga, gb := guaranteed[order[a]], guaranteed[order[b]]
-		if ga != gb {
-			return ga
-		}
-		if cands[order[a]].Obs != cands[order[b]].Obs {
-			return cands[order[a]].Obs > cands[order[b]].Obs
-		}
-		return cands[order[a]].Seg < cands[order[b]].Seg
-	})
-	out := make([]hmm.Candidate, k)
-	for i := 0; i < k; i++ {
-		out[i] = cands[order[i]]
-	}
-	// Present in descending learned-probability order.
-	sort.Slice(out, func(a, b int) bool { return out[a].Obs > out[b].Obs })
 	return out
 }
 

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Admission-control telemetry. The in-flight gauge counts requests
+// holding a worker slot; depth counts requests waiting in the queue.
+var (
+	obsAdmitted  = obs.Default.Counter("serve.admitted")
+	obsShed      = obs.Default.Counter("serve.shed")
+	obsInflight  = obs.Default.Gauge("serve.inflight")
+	obsQueueWait = obs.Default.Gauge("serve.queue.depth")
+)
+
+// errOverloaded sheds a request: every worker is busy and the waiting
+// queue is full. Mapped to 429 by the handlers.
+var errOverloaded = errors.New("serve: overloaded: worker pool and queue are full")
+
+// admission is the server's bounded worker pool plus waiting queue.
+// A request first tries to take a worker slot; if none is free it
+// waits in the bounded queue, and if the queue is full it is shed
+// immediately. This keeps CPU-bound matching work at a fixed
+// parallelism under any request rate — overload degrades to fast 429s
+// instead of an unbounded goroutine pile-up.
+type admission struct {
+	slots   chan struct{} // capacity = concurrent workers
+	waiting atomic.Int64
+	maxWait int64 // queue bound; <= 0 means "no waiting, shed at once"
+}
+
+func newAdmission(workers, queue int) *admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &admission{slots: make(chan struct{}, workers), maxWait: int64(queue)}
+}
+
+// acquire blocks until a worker slot is free, the queue overflows
+// (errOverloaded), or ctx is done (its error). On success the caller
+// must invoke the returned release exactly once.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case a.slots <- struct{}{}:
+		return a.admitted(), nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxWait {
+		a.waiting.Add(-1)
+		obsShed.Inc()
+		return nil, errOverloaded
+	}
+	obsQueueWait.Set(a.waiting.Load())
+	defer func() {
+		a.waiting.Add(-1)
+		obsQueueWait.Set(a.waiting.Load())
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		return a.admitted(), nil
+	case <-ctx.Done():
+		obsShed.Inc()
+		return nil, ctx.Err()
+	}
+}
+
+// admitted records a successful slot take and returns its releaser.
+func (a *admission) admitted() func() {
+	obsAdmitted.Inc()
+	obsInflight.Add(1)
+	var once atomic.Bool
+	return func() {
+		if once.Swap(true) {
+			return
+		}
+		obsInflight.Add(-1)
+		<-a.slots
+	}
+}
+
+// inflight reports how many worker slots are currently held.
+func (a *admission) inflight() int { return len(a.slots) }

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+)
+
+// A failed reload — here a genuinely corrupt weights payload going
+// through Model.Load — must leave the previously published model
+// serving.
+func TestReloadKeepsOldModelOnCorruptWeights(t *testing.T) {
+	ds, _ := fixture(t)
+	calls := 0
+	loader := func() (*core.Model, error) {
+		calls++
+		m, err := core.New(ds, ds.TrainTrips(), fixCfg)
+		if err != nil {
+			return nil, err
+		}
+		if calls > 1 {
+			// Second load: corrupt weights file. Load validates before
+			// writing, so this must fail cleanly.
+			if err := m.Load(strings.NewReader(`{"corrupt": tru`)); err != nil {
+				return nil, err
+			}
+			return m, nil
+		}
+		m.RefreshEmbeddings()
+		return m, nil
+	}
+	reg := NewRegistry(loader)
+
+	if reg.Model() != nil {
+		t.Fatal("registry non-empty before first reload")
+	}
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	old := reg.Model()
+	if old == nil {
+		t.Fatal("no model after successful reload")
+	}
+
+	if err := reg.Reload(); err == nil {
+		t.Fatal("reload with corrupt weights succeeded")
+	}
+	if reg.Model() != old {
+		t.Fatal("failed reload replaced the served model")
+	}
+
+	// The kept model still matches.
+	tr := ds.TestTrips()[0]
+	if _, err := old.Match(tr.Cell); err != nil {
+		t.Fatalf("old model broken after failed reload: %v", err)
+	}
+}
+
+func TestReloadFailpoint(t *testing.T) {
+	_, m := fixture(t)
+	reg := staticRegistry(t, m)
+	t.Cleanup(faultinject.DisarmAll)
+
+	old := reg.Model()
+	if err := faultinject.Arm("serve.reload.fail"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err == nil {
+		t.Fatal("reload with armed failpoint succeeded")
+	}
+	if reg.Model() != old {
+		t.Fatal("faulted reload replaced the served model")
+	}
+	faultinject.DisarmAll()
+	if err := reg.Reload(); err != nil {
+		t.Fatalf("reload after disarm: %v", err)
+	}
+}
+
+func TestReloadLoaderMustProduceEmbeddings(t *testing.T) {
+	ds, _ := fixture(t)
+	reg := NewRegistry(func() (*core.Model, error) {
+		// A skeleton without RefreshEmbeddings/Load is unusable; the
+		// registry must refuse to publish it.
+		return core.New(ds, ds.TrainTrips(), fixCfg)
+	})
+	if err := reg.Reload(); err == nil {
+		t.Fatal("reload published a model without embeddings")
+	}
+	if reg.Model() != nil {
+		t.Fatal("unusable model published")
+	}
+}
+
+// End to end over HTTP: a failed /v1/reload answers 5xx and matching
+// continues on the old model.
+func TestReloadHTTP(t *testing.T) {
+	ds, m := fixture(t)
+	calls := 0
+	reg := NewRegistry(func() (*core.Model, error) {
+		calls++
+		if calls > 1 {
+			return nil, fmt.Errorf("weights file corrupted")
+		}
+		return m, nil
+	})
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{})
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	resp, body := postJSON(t, hs.URL+"/v1/reload", nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failed reload: %d (%s), want 500", resp.StatusCode, body)
+	}
+	tr := ds.TestTrips()[0]
+	resp, body = postJSON(t, hs.URL+"/v1/match", PointsRequest(tr.Cell))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match after failed reload: %d (%s), want 200", resp.StatusCode, body)
+	}
+}

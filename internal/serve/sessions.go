@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/hmm"
+	"repro/internal/obs"
+	"repro/internal/traj"
+)
+
+// Session telemetry.
+var (
+	obsSessActive   = obs.Default.Gauge("serve.sessions.active")
+	obsSessCreated  = obs.Default.Counter("serve.sessions.created")
+	obsSessEvicted  = obs.Default.Counter("serve.sessions.evicted")
+	obsSessRejected = obs.Default.Counter("serve.sessions.rejected")
+)
+
+// fpSessionCreate fails session creation (chaos tests; no-op unless
+// armed).
+var fpSessionCreate = faultinject.New("serve.session.create")
+
+var (
+	// errSessionCap rejects a session create at the configured cap.
+	// Mapped to 429 by the handlers.
+	errSessionCap = errors.New("serve: session cap reached")
+	// errSessionNotFound maps to 404.
+	errSessionNotFound = errors.New("serve: no such session")
+)
+
+// sessionShards keeps lock contention flat as device counts grow; a
+// power of two so the hash maps with a mask.
+const sessionShards = 16
+
+// Session is one device's live streaming match: a StreamMatcher plus
+// the bookkeeping the manager needs for TTL eviction.
+//
+// All matcher access is serialized by mu — the StreamMatcher is a
+// single-writer state machine, and HTTP gives no ordering between
+// concurrent POSTs for the same device, so the manager imposes one.
+// Concurrent pushes to one session queue behind the lock; pushes to
+// different sessions only share a shard map read.
+type Session struct {
+	ID string
+
+	mu sync.Mutex
+	sm *hmm.StreamMatcher
+	// done marks a finished session (kept briefly so a duplicate finish
+	// reads as "gone", not a confusing 404-then-recreate).
+	done bool
+
+	lastNano atomic.Int64 // last touch, UnixNano; read by the janitor without mu
+}
+
+func (s *Session) touch(now time.Time) { s.lastNano.Store(now.UnixNano()) }
+
+// push feeds points through the session's matcher under its writer
+// lock and reports the newly finalized matches plus drop-mode
+// sanitization count.
+func (s *Session) push(pts traj.CellTrajectory, now time.Time) (fin []hmm.Candidate, dropped int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil, 0, errSessionNotFound
+	}
+	s.touch(now)
+	before := s.sm.Sanitize().Dropped()
+	for i, p := range pts {
+		out, perr := s.sm.Push(p)
+		fin = append(fin, out...)
+		if perr != nil {
+			return fin, s.sm.Sanitize().Dropped() - before, fmt.Errorf("point %d: %w", i, perr)
+		}
+	}
+	return fin, s.sm.Sanitize().Dropped() - before, nil
+}
+
+// finish flushes the matcher and returns the complete result view.
+// The session is unusable afterwards.
+func (s *Session) finish() (MatchResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return MatchResponse{}, errSessionNotFound
+	}
+	s.done = true
+	s.sm.Flush()
+	return streamResultJSON(s.sm), nil
+}
+
+// status snapshots the session's progress counters.
+func (s *Session) status() SessionStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	emitted := len(s.sm.Matched())
+	pending := s.sm.Pending()
+	return SessionStatus{
+		ID:       s.ID,
+		Pushed:   emitted + pending,
+		Emitted:  emitted,
+		Pending:  pending,
+		Degraded: s.sm.Degraded(),
+	}
+}
+
+type sessionShard struct {
+	mu sync.Mutex
+	m  map[string]*Session
+}
+
+// SessionManager owns the live streaming sessions: sharded lookup,
+// a global cap, and TTL eviction of idle sessions via a janitor
+// goroutine (or explicit Sweep calls in tests).
+type SessionManager struct {
+	shards [sessionShards]sessionShard
+	count  atomic.Int64 // live sessions, bounded by max
+	max    int64
+	ttl    time.Duration
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+// NewSessionManager creates a manager capping live sessions at max
+// (<=0 means 1) and evicting sessions idle longer than ttl. The
+// janitor starts only via Start; tests can drive Sweep directly.
+func NewSessionManager(max int, ttl time.Duration) *SessionManager {
+	if max <= 0 {
+		max = 1
+	}
+	if ttl <= 0 {
+		ttl = 5 * time.Minute
+	}
+	m := &SessionManager{max: int64(max), ttl: ttl, stopCh: make(chan struct{})}
+	for i := range m.shards {
+		m.shards[i].m = make(map[string]*Session)
+	}
+	return m
+}
+
+// Start launches the TTL janitor; Stop halts it.
+func (m *SessionManager) Start() {
+	interval := m.ttl / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stopCh:
+				return
+			case now := <-t.C:
+				m.Sweep(now)
+			}
+		}
+	}()
+}
+
+// Stop halts the janitor. Live sessions are left in place (Close on
+// the server discards everything anyway).
+func (m *SessionManager) Stop() { m.stopOnce.Do(func() { close(m.stopCh) }) }
+
+func (m *SessionManager) shard(id string) *sessionShard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &m.shards[h.Sum32()&(sessionShards-1)]
+}
+
+// Create admits a new session backed by a fresh StreamMatcher from
+// model. Returns errSessionCap when the manager is full.
+func (m *SessionManager) Create(model *core.Model, lag int, now time.Time) (*Session, error) {
+	if fpSessionCreate.Fail() {
+		obsSessRejected.Inc()
+		return nil, fmt.Errorf("serve: session create: fault injected: %s", fpSessionCreate.Name())
+	}
+	if m.count.Add(1) > m.max {
+		m.count.Add(-1)
+		obsSessRejected.Inc()
+		return nil, errSessionCap
+	}
+	id, err := newSessionID()
+	if err != nil {
+		m.count.Add(-1)
+		return nil, err
+	}
+	s := &Session{ID: id, sm: model.NewStream(lag)}
+	s.touch(now)
+	sh := m.shard(id)
+	sh.mu.Lock()
+	sh.m[id] = s
+	sh.mu.Unlock()
+	obsSessCreated.Inc()
+	obsSessActive.Set(m.count.Load())
+	return s, nil
+}
+
+// Get returns the live session for id, or errSessionNotFound.
+func (m *SessionManager) Get(id string) (*Session, error) {
+	sh := m.shard(id)
+	sh.mu.Lock()
+	s, ok := sh.m[id]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, errSessionNotFound
+	}
+	return s, nil
+}
+
+// Remove drops the session from the manager (finish or eviction). An
+// in-flight push holding the session pointer completes; later lookups
+// miss.
+func (m *SessionManager) Remove(id string) {
+	sh := m.shard(id)
+	sh.mu.Lock()
+	_, ok := sh.m[id]
+	delete(sh.m, id)
+	sh.mu.Unlock()
+	if ok {
+		m.count.Add(-1)
+		obsSessActive.Set(m.count.Load())
+	}
+}
+
+// Len reports the number of live sessions.
+func (m *SessionManager) Len() int { return int(m.count.Load()) }
+
+// Sweep evicts every session idle since before now−TTL. It is the
+// janitor's body, exported so tests can force eviction with a
+// synthetic clock instead of sleeping.
+func (m *SessionManager) Sweep(now time.Time) int {
+	cutoff := now.Add(-m.ttl).UnixNano()
+	evicted := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for id, s := range sh.m {
+			if s.lastNano.Load() < cutoff {
+				delete(sh.m, id)
+				m.count.Add(-1)
+				evicted++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if evicted > 0 {
+		obsSessEvicted.Add(int64(evicted))
+		obsSessActive.Set(m.count.Load())
+		obs.Logger().Info("serve: evicted idle sessions", "count", evicted)
+	}
+	return evicted
+}
+
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("serve: session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}

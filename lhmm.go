@@ -257,13 +257,15 @@ func RandSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 // StreamMatcher is the online fixed-lag matcher: push points as they
 // arrive and receive finalized matches Lag points behind real time.
+// For learned-model streaming, call (*Model).NewStream(lag) — one
+// StreamMatcher per device trajectory, since streaming LHMM keeps
+// per-trajectory context. The lhmm-serve session endpoints are a
+// network front-end over exactly that constructor.
 type StreamMatcher = hmm.StreamMatcher
 
 // NewClassicalStream builds a streaming matcher over the classical
-// distance-probability models with the given emission lag. For a
-// learned streaming matcher, wrap a trained Model's session via the
-// internal packages (streaming LHMM keeps per-trajectory context, so
-// it is constructed per trajectory).
+// distance-probability models with the given emission lag (the
+// non-learned counterpart of (*Model).NewStream).
 func NewClassicalStream(net *Network, router *Router, k, lag int, sigma, beta float64) *StreamMatcher {
 	return hmm.NewStreamMatcher(&hmm.Matcher{
 		Net:    net,
