@@ -58,6 +58,11 @@ type output struct {
 	RouterCacheHitRate  float64 `json:"router_cache_hit_rate"`
 	ShortcutActivations int64   `json:"shortcut_activations"`
 	ViterbiBreaks       int64   `json:"viterbi_breaks"`
+	// Headline match-latency quantiles (hmm.match.seconds, bucket-
+	// interpolated like Prometheus histogram_quantile).
+	MatchP50S float64 `json:"match_p50_s"`
+	MatchP95S float64 `json:"match_p95_s"`
+	MatchP99S float64 `json:"match_p99_s"`
 	// Obs is the full telemetry snapshot of the run.
 	Obs obs.Snapshot `json:"obs"`
 }
@@ -189,6 +194,7 @@ func main() {
 // buildDoc assembles the lhmm-bench/v1 document for this run.
 func buildDoc(results []experiment, scale float64, trips int, totalS float64) *output {
 	snap := obs.Default.Snapshot()
+	match := snap.Histograms["hmm.match.seconds"]
 	return &output{
 		Schema:              "lhmm-bench/v1",
 		Timestamp:           time.Now().UTC().Format(time.RFC3339),
@@ -199,6 +205,9 @@ func buildDoc(results []experiment, scale float64, trips int, totalS float64) *o
 		RouterCacheHitRate:  snap.Ratio("router.cache.hits", "router.cache.misses"),
 		ShortcutActivations: snap.Counters["hmm.shortcut.adoptions"],
 		ViterbiBreaks:       snap.Counters["hmm.viterbi.breaks"],
+		MatchP50S:           match.P50,
+		MatchP95S:           match.P95,
+		MatchP99S:           match.P99,
 		Obs:                 snap,
 	}
 }
@@ -244,6 +253,28 @@ func compareRuns(w io.Writer, base, fresh *output) error {
 	}
 	fmt.Fprintf(w, "  %-8s %8.2fs -> %8.2fs  %s\n", "total",
 		base.TotalWallS, fresh.TotalWallS, pctDelta(base.TotalWallS, fresh.TotalWallS))
+	// Match-latency quantiles: flagged (but non-fatal) outside a ±50%
+	// tolerance band — bench hosts are noisy, so quantile drift is a
+	// signal, not a gate. Zero or absent baseline quantiles (older
+	// baselines predate them) are skipped.
+	const qTol = 0.50
+	for _, q := range []struct {
+		name      string
+		base, cur float64
+	}{
+		{"match_p50_s", base.MatchP50S, fresh.MatchP50S},
+		{"match_p95_s", base.MatchP95S, fresh.MatchP95S},
+		{"match_p99_s", base.MatchP99S, fresh.MatchP99S},
+	} {
+		if q.base <= 0 || q.cur <= 0 {
+			continue
+		}
+		mark := ""
+		if rel := (q.cur - q.base) / q.base; rel > qTol || rel < -qTol {
+			mark = "  ** outside ±50% tolerance"
+		}
+		fmt.Fprintf(w, "  %-12s %9.6fs -> %9.6fs  %s%s\n", q.name, q.base, q.cur, pctDelta(q.base, q.cur), mark)
+	}
 	names := make([]string, 0, len(base.Obs.Counters))
 	for name := range base.Obs.Counters {
 		names = append(names, name)

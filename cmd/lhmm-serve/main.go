@@ -15,7 +15,9 @@
 //	GET    /v1/sessions/{id}          session progress counters
 //	DELETE /v1/sessions/{id}          discard a session
 //	POST   /v1/reload                 hot-reload model weights from -model
-//	GET    /healthz /readyz /metrics  liveness, readiness, telemetry snapshot
+//	GET    /v1/quality                windowed quality/SLO report
+//	GET    /healthz /readyz           liveness, readiness (with quality detail)
+//	GET    /metrics /metrics.json     Prometheus text exposition, JSON snapshot
 //
 // SIGHUP also triggers a hot reload; SIGINT/SIGTERM drain in-flight
 // matches (up to -drain-timeout) before exiting. A failed reload —
@@ -67,6 +69,12 @@ func run(args []string) error {
 	sessionTTL := fs.Duration("session-ttl", 5*time.Minute, "evict sessions idle longer than this")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request match timeout ceiling")
 	drainTimeout := fs.Duration("drain-timeout", 20*time.Second, "max wait for in-flight matches on shutdown")
+	sloWindow := fs.Duration("slo-window", time.Minute, "quality monitor sliding window")
+	sloDegraded := fs.Float64("slo-degraded-rate", 0.05, "max fraction of matches with degraded scoring before /readyz reports degraded")
+	sloGap := fs.Float64("slo-gap-rate", 0.20, "max fraction of matches with gaps or breaks")
+	sloEmpty := fs.Float64("slo-empty-rate", 0.20, "max fraction of requests failing with no candidates")
+	sloShed := fs.Float64("slo-shed-rate", 0.05, "max fraction of requests shed by admission control")
+	sloP99 := fs.Duration("slo-p99", 0, "p99 match latency objective (0 disables)")
 	of := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -144,6 +152,14 @@ func run(args []string) error {
 		SessionTTL:   *sessionTTL,
 		DefaultLag:   *lag,
 		MatchTimeout: *timeout,
+		Quality: obs.QualityConfig{
+			Window:          *sloWindow,
+			MaxDegradedRate: *sloDegraded,
+			MaxGapRate:      *sloGap,
+			MaxEmptyRate:    *sloEmpty,
+			MaxShedRate:     *sloShed,
+			MaxP99:          *sloP99,
+		},
 	})
 	defer srv.Close()
 

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -237,7 +238,7 @@ func cmdMatch(args []string) error {
 	jsonOut := fs.Bool("json", false, "write the result as MatchResponse JSON on stdout (the lhmm-serve wire format)")
 	dumpTraj := fs.String("dump-traj", "", "write the -trip trajectory as MatchRequest JSON and exit ('-' for stdout; no model needed)")
 	geojson := fs.String("geojson", "", "optional GeoJSON output file")
-	traceOut := fs.String("trace", "", "write the per-trajectory match trace as JSON ('-' for stdout)")
+	traceOut := fs.String("trace", "", "write the per-trajectory match trace as JSON ('-' for stdout; with -json it is embedded in the response instead)")
 	parallel := fs.Int("parallel", 0, "transition fan-out workers per match (<=1 sequential; output identical)")
 	onBreak := fs.String("on-break", "error", "dead-point policy: error|skip|split")
 	sanitize := fs.String("sanitize", "strict", "input validation: strict|drop|off")
@@ -299,11 +300,27 @@ func cmdMatch(args []string) error {
 		tr = tests[*trip]
 		ct = tr.Cell
 	}
-	res, err := model.Match(ct)
+	// One root span per CLI match when tracing is on (-trace-out): the
+	// same span tree a sampled server request produces, minus the HTTP
+	// layer.
+	ctx := context.Background()
+	var sp *obs.Span
+	if obs.DefaultTracer.ShouldSample() {
+		sp = obs.DefaultTracer.StartSpan("match", "", "")
+		sp.SetAttr("points", len(ct))
+		ctx = obs.ContextWithSpan(ctx, sp)
+	}
+	res, err := model.MatchContext(ctx, ct)
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
 	if err != nil {
 		return err
 	}
-	if *traceOut != "" && res.Trace != nil {
+	if *traceOut != "" && res.Trace != nil && !*jsonOut {
 		data, err := json.MarshalIndent(res.Trace, "", "  ")
 		if err != nil {
 			return err
@@ -320,8 +337,14 @@ func cmdMatch(args []string) error {
 	if *jsonOut {
 		// The exact bytes lhmm-serve answers for this trajectory: same
 		// struct, same encoder. `diff` against a server response is the
-		// online/offline parity check.
-		return json.NewEncoder(os.Stdout).Encode(serve.ResultJSON(res))
+		// online/offline parity check. With -trace the output is the
+		// debug form instead — the same leading fields plus the appended
+		// trace block, matching POST /v1/match?debug=1.
+		enc := json.NewEncoder(os.Stdout)
+		if *traceOut != "" {
+			return enc.Encode(serve.DebugMatchResponse{MatchResponse: serve.ResultJSON(res), Trace: res.Trace})
+		}
+		return enc.Encode(serve.ResultJSON(res))
 	}
 	if tr != nil {
 		pm := lhmm.EvalPath(ds.Net, res.Path, tr.Path, 50)

@@ -80,6 +80,15 @@ type session struct {
 	// classical explicit feature because the learned score came out
 	// NaN/Inf (degraded mode); folded into Result.Degraded by Match.
 	deg atomic.Int64
+
+	// span, when non-nil, is the request's match span; observation-
+	// scoring wall-clock accumulates into obsT (first call stamped in
+	// obsT0) and MatchContext emits it as one "observation" child span.
+	// Candidates runs sequentially on the match goroutine, so plain
+	// fields suffice.
+	span  *obs.Span
+	obsT0 time.Time
+	obsT  float64
 }
 
 // newSession precomputes the trajectory-level state. The model must
@@ -272,7 +281,17 @@ func (s *session) Candidates(ct traj.CellTrajectory, i, k int) []hmm.Candidate {
 	cands := poolCandidates(s.m.Net, s.ct[i].P, pool)
 	s.ws.Reset()
 	scores := s.ws.TakeVec(len(cands))
+	var t time.Time
+	if s.span != nil {
+		t = time.Now()
+		if s.obsT0.IsZero() {
+			s.obsT0 = t
+		}
+	}
 	s.obsScoreBatch(s.ws, i, cands, scores)
+	if s.span != nil {
+		s.obsT += time.Since(t).Seconds()
+	}
 	// Across-pool softmax with cached normalizer so shortcut
 	// pseudo-candidates score consistently later (selectTopK returns
 	// the pool max and normalizer it used).
@@ -446,6 +465,18 @@ func (m *Model) MatchContext(ctx context.Context, ct traj.CellTrajectory) (res *
 		obsCoreMatchErrs.Inc()
 		return nil, fmt.Errorf("core: empty trajectory")
 	}
+	// A sampled request's span arrives on ctx; the match opens a child
+	// span, re-wraps the context so the hmm layer parents its stage
+	// spans under it, and emits sanitize/session_init/observation
+	// children itself. All span calls are nil-safe, so the untraced
+	// path pays one context lookup.
+	msp := obs.SpanFromContext(ctx).StartChild("match")
+	defer msp.End()
+	ctx = obs.ContextWithSpan(ctx, msp)
+	var spanT time.Time
+	if msp != nil {
+		spanT = time.Now()
+	}
 	// Sanitize before the session precomputes per-point state: the
 	// session's embeddings, attention keys, and softmax caches are all
 	// indexed by trajectory position, so dropping points later (inside
@@ -454,6 +485,10 @@ func (m *Model) MatchContext(ctx context.Context, ct traj.CellTrajectory) (res *
 	if err != nil {
 		obsCoreMatchErrs.Inc()
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	if msp != nil {
+		msp.ChildAt("sanitize", spanT, time.Since(spanT))
+		msp.SetAttr("points", len(ct))
 	}
 	if srep.Dropped() > 0 {
 		obsCoreSanitized.Add(int64(srep.Dropped()))
@@ -473,8 +508,15 @@ func (m *Model) MatchContext(ctx context.Context, ct traj.CellTrajectory) (res *
 			res, err = nil, fmt.Errorf("core: match panicked (likely a model/config shape mismatch): %v", r)
 		}
 	}()
+	if msp != nil {
+		spanT = time.Now()
+	}
 	sess := m.newSession(ct)
 	defer sess.release()
+	if msp != nil {
+		msp.ChildAt("session_init", spanT, time.Since(spanT))
+		sess.span = msp
+	}
 	matcher := &hmm.Matcher{
 		Net:    m.Net,
 		Router: m.Router,
@@ -492,6 +534,10 @@ func (m *Model) MatchContext(ctx context.Context, ct traj.CellTrajectory) (res *
 		},
 	}
 	res, err = matcher.MatchContext(ctx, ct)
+	if msp != nil && sess.obsT > 0 {
+		msp.ChildAt("observation", sess.obsT0,
+			time.Duration(sess.obsT*float64(time.Second)))
+	}
 	if err != nil {
 		obsCoreMatchErrs.Inc()
 		return nil, err
@@ -502,6 +548,10 @@ func (m *Model) MatchContext(ctx context.Context, ct traj.CellTrajectory) (res *
 		// shared degraded counter (the hmm layer counted its own).
 		res.Degraded += d
 		obsCoreDegraded.Add(int64(d))
+	}
+	if msp != nil {
+		msp.SetAttr("degraded", res.Degraded)
+		msp.SetAttr("gaps", len(res.Gaps))
 	}
 	obsCoreMatches.Inc()
 	return res, nil

@@ -15,6 +15,7 @@ package hmm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -61,6 +62,12 @@ var (
 	fpDeadCandidates = faultinject.New("hmm.candidates.empty")
 	fpTransNaN       = faultinject.New("hmm.trans.nan")
 )
+
+// ErrNoCandidates marks a match abort caused by an empty candidate set
+// (one fatal dead point under BreakError, or every point dead). The
+// serving layer tests for it with errors.Is to feed the
+// empty-candidate quality signal.
+var ErrNoCandidates = errors.New("no candidates")
 
 // Candidate is one candidate road segment for one trajectory point
 // (Definition 4), carrying its projection and observation score.
@@ -331,20 +338,24 @@ func (m *Matcher) MatchContext(ctx context.Context, ct traj.CellTrajectory) (*Re
 	}
 
 	// Telemetry: counters accumulate into locals and flush once at the
-	// end; the per-stage clock only runs when tracing is on.
+	// end; the per-stage clock only runs when tracing is on — either a
+	// MatchTrace (Cfg.Trace) or a request span arriving on ctx, which
+	// receives the same stage timings as child spans.
+	sp := obs.SpanFromContext(ctx)
 	var trace *obs.MatchTrace
 	if m.Cfg.Trace {
 		trace = obs.NewMatchTrace(len(ct))
 	}
+	traced := trace != nil || sp != nil
 	var st obs.StageTimings
 	stage := func(target *float64) func() {
-		if trace == nil {
+		if !traced {
 			return nopStage
 		}
 		return obs.Stage(target)
 	}
 	var start time.Time
-	timed := trace != nil || obs.Default.Enabled()
+	timed := traced || obs.Default.Enabled()
 	if timed {
 		start = time.Now()
 	}
@@ -380,7 +391,7 @@ func (m *Matcher) MatchContext(ctx context.Context, ct traj.CellTrajectory) (*Re
 		if len(layer) == 0 {
 			if m.Cfg.OnBreak == BreakError {
 				obsMatchErrors.Inc()
-				return nil, fmt.Errorf("hmm: no candidates for point %d", i)
+				return nil, fmt.Errorf("hmm: %w for point %d", ErrNoCandidates, i)
 			}
 			dead[i] = true
 			deadCount++
@@ -402,7 +413,7 @@ func (m *Matcher) MatchContext(ctx context.Context, ct traj.CellTrajectory) (*Re
 	}
 	if deadCount == len(ct) {
 		obsMatchErrors.Inc()
-		return nil, fmt.Errorf("hmm: no candidates for any of the %d points", len(ct))
+		return nil, fmt.Errorf("hmm: %w for any of the %d points", ErrNoCandidates, len(ct))
 	}
 	alive := make([]int, 0, len(ct)-deadCount)
 	for i := range ct {
@@ -463,7 +474,9 @@ func (m *Matcher) MatchContext(ctx context.Context, ct traj.CellTrajectory) (*Re
 		}
 		// Phase 1: score the whole transition fan-out into the step
 		// table — batched, parallel, or pairwise-sequential.
+		tdone := stage(&st.TransitionS)
 		batchBuf = m.fillSteps(ctx, ct, i, layers[i-1], layers[i], steps[i], batchBuf, &deg)
+		tdone()
 		// Phase 2: the Viterbi recurrence over the memoized table,
 		// always sequential so results do not depend on scheduling.
 		restarts, reachable := 0, 0
@@ -606,14 +619,42 @@ func (m *Matcher) MatchContext(ctx context.Context, ct traj.CellTrajectory) (*Re
 	if timed {
 		elapsed := time.Since(start).Seconds()
 		obsMatchSeconds.Observe(elapsed)
-		if trace != nil {
+		if traced {
 			st.TotalS = elapsed
-			trace.Stages = st
-			trace.ShortcutAdoptions = adoptions
-			trace.ShortcutAttempts = attempts
+			if trace != nil {
+				trace.Stages = st
+				trace.ShortcutAdoptions = adoptions
+				trace.ShortcutAttempts = attempts
+			}
+			emitStageSpans(sp, start, st)
 		}
 	}
 	return res, nil
+}
+
+// emitStageSpans attributes the measured stage wall-clock onto the
+// request's span tree as contiguous child spans; the transition fill
+// nests inside the viterbi span. No-op without a parent span.
+func emitStageSpans(sp *obs.Span, start time.Time, st obs.StageTimings) {
+	if sp == nil {
+		return
+	}
+	secs := func(s float64) time.Duration {
+		return time.Duration(s * float64(time.Second))
+	}
+	cur := start
+	emit := func(name string, s float64) *obs.Span {
+		c := sp.ChildAt(name, cur, secs(s))
+		cur = cur.Add(secs(s))
+		return c
+	}
+	emit("candidates", st.CandidatesS)
+	vStart := cur
+	v := emit("viterbi", st.ViterbiS)
+	v.ChildAt("transition", vStart, secs(st.TransitionS))
+	emit("shortcuts", st.ShortcutsS)
+	emit("backtrack", st.BacktrackS)
+	emit("route", st.ExpandS)
 }
 
 // nopStage is the shared no-op stage closer used when tracing is off.

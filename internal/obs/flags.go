@@ -5,22 +5,34 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 )
 
-// Flags is the standard observability flag trio shared by the CLIs.
+// Flags is the standard observability flag set shared by the CLIs.
 type Flags struct {
-	Metrics   string // dump a metrics snapshot: file path, or "-" for stdout
-	LogLevel  string // debug|info|warn|error|off
-	DebugAddr string // serve pprof+expvar+/metrics on this address
+	Metrics     string  // dump a metrics snapshot: file path, or "-" for stdout
+	LogLevel    string  // debug|info|warn|error|off
+	DebugAddr   string  // serve pprof+expvar+/metrics on this address
+	TraceOut    string  // JSONL span export path ('-' for stderr)
+	TraceSample float64 // probabilistic trace sampling rate in [0,1]
 }
 
-// BindFlags registers -metrics, -log-level, and -debug-addr on fs and
-// returns the destination struct. Call Apply after fs.Parse.
+// BindFlags registers the observability flags on fs and returns the
+// destination struct. Call Apply after fs.Parse. -trace-out and
+// -trace-sample default from LHMM_TRACE_OUT / LHMM_TRACE_SAMPLE so
+// tracing can be switched on without touching a deployment's argv.
 func BindFlags(fs *flag.FlagSet) *Flags {
-	f := &Flags{}
+	f := &Flags{TraceSample: 1}
+	if v := os.Getenv("LHMM_TRACE_SAMPLE"); v != "" {
+		if p, err := strconv.ParseFloat(v, 64); err == nil {
+			f.TraceSample = p
+		}
+	}
 	fs.StringVar(&f.Metrics, "metrics", "", "dump metrics snapshot as JSON to this file on exit ('-' for stderr)")
 	fs.StringVar(&f.LogLevel, "log-level", "", "structured log level: debug|info|warn|error (default off)")
 	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address")
+	fs.StringVar(&f.TraceOut, "trace-out", os.Getenv("LHMM_TRACE_OUT"), "export sampled request spans as JSONL to this file ('-' for stderr; env LHMM_TRACE_OUT)")
+	fs.Float64Var(&f.TraceSample, "trace-sample", f.TraceSample, "trace sampling probability in [0,1] (env LHMM_TRACE_SAMPLE)")
 	return f
 }
 
@@ -52,10 +64,34 @@ func (f *Flags) Apply() (func() error, error) {
 		Default.Enable()
 	}
 
+	var traceFile *os.File
+	if f.TraceOut != "" {
+		if f.TraceOut == "-" {
+			DefaultTracer.SetOutput(os.Stderr)
+		} else {
+			tf, err := os.Create(f.TraceOut)
+			if err != nil {
+				if stopServe != nil {
+					stopServe() //nolint:errcheck // reporting the create error
+				}
+				return func() error { return nil }, fmt.Errorf("obs: trace out: %w", err)
+			}
+			traceFile = tf
+			DefaultTracer.SetOutput(tf)
+		}
+		DefaultTracer.SetSample(f.TraceSample)
+	}
+
 	cleanup := func() error {
 		var firstErr error
 		if f.Metrics != "" {
 			if err := dumpSnapshot(f.Metrics); err != nil {
+				firstErr = err
+			}
+		}
+		if traceFile != nil {
+			DefaultTracer.SetOutput(nil)
+			if err := traceFile.Close(); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}

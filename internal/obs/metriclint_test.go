@@ -1,0 +1,33 @@
+package obs_test
+
+import (
+	"regexp"
+	"testing"
+
+	"repro/internal/obs"
+
+	// Instruments register at package init via obs.Default; linking
+	// serve pulls in the whole matching stack (core, hmm, roadnet,
+	// eval) so every production metric name is on the lint's docket.
+	_ "repro/internal/serve"
+)
+
+// metricName is the registry naming convention: dotted lowercase
+// snake.case segments. Every such name maps to a valid Prometheus
+// metric name under the lhmm_ prefix, so enforcing it here keeps the
+// /metrics exposition well-formed by construction.
+var metricName = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z][a-z0-9]*)*$`)
+
+func TestMetricNamesLint(t *testing.T) {
+	names := obs.Default.CounterNames()
+	names = append(names, obs.Default.GaugeNames()...)
+	names = append(names, obs.Default.HistogramNames()...)
+	if len(names) < 10 {
+		t.Fatalf("only %d instruments registered; expected the full stack (is serve still linked?)", len(names))
+	}
+	for _, name := range names {
+		if !metricName.MatchString(name) {
+			t.Errorf("metric %q violates the dotted lowercase snake.case convention %s", name, metricName)
+		}
+	}
+}

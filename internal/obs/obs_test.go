@@ -137,8 +137,13 @@ func TestSnapshotAndReset(t *testing.T) {
 
 	r.Reset()
 	s = r.Snapshot()
-	if len(s.Counters) != 0 || len(s.Histograms) != 0 || s.Gauges["depth"] != 0 {
+	if len(s.Counters) != 0 || s.Gauges["depth"] != 0 {
 		t.Fatalf("after reset: %+v", s)
+	}
+	// Registered histograms stay in the snapshot even at zero
+	// observations — the scrape series set must be stable.
+	if hs, ok := s.Histograms["h"]; !ok || hs.Count != 0 {
+		t.Fatalf("after reset histogram h = %+v, ok=%v", s.Histograms["h"], ok)
 	}
 	// Handles stay live across Reset.
 	r.Counter("hits").Inc()
@@ -259,7 +264,7 @@ func TestServe(t *testing.T) {
 	defer stop() //nolint:errcheck
 	Default.Counter("serve.test").Inc()
 
-	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/"} {
+	for _, path := range []string{"/metrics", "/metrics.json", "/debug/vars", "/debug/pprof/"} {
 		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -269,13 +274,21 @@ func TestServe(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
 		}
-		if path == "/metrics" {
+		switch path {
+		case "/metrics":
+			if err := ValidatePromText(body); err != nil {
+				t.Fatalf("/metrics not valid Prometheus text: %v", err)
+			}
+			if !strings.Contains(string(body), "lhmm_serve_test_total 1") {
+				t.Errorf("/metrics missing lhmm_serve_test_total:\n%s", body)
+			}
+		case "/metrics.json":
 			var snap Snapshot
 			if err := json.Unmarshal(body, &snap); err != nil {
-				t.Fatalf("/metrics not JSON: %v", err)
+				t.Fatalf("/metrics.json not JSON: %v", err)
 			}
 			if snap.Counters["serve.test"] != 1 {
-				t.Errorf("/metrics counters = %v", snap.Counters)
+				t.Errorf("/metrics.json counters = %v", snap.Counters)
 			}
 		}
 	}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format 0.0.4), stdlib-only. Registry
+// names are dotted lowercase ("hmm.match.seconds"); on the wire they
+// become underscore-separated with an "lhmm_" namespace prefix
+// ("lhmm_hmm_match_seconds"), counters gain the conventional "_total"
+// suffix, and histograms expand to cumulative "_bucket{le=...}" series
+// plus "_sum"/"_count". Every registered instrument is emitted even at
+// zero so the scrape's series set is stable from process start.
+
+// PromContentType is the Content-Type for the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promNamespace prefixes every exported series.
+const promNamespace = "lhmm_"
+
+// promName maps a registry name to its wire name.
+func promName(name string) string {
+	return promNamespace + strings.ReplaceAll(name, ".", "_")
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered instrument in the Prometheus
+// text exposition format, sorted by name for deterministic scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		histograms[name] = h
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(counters) {
+		wire := promName(name) + "_total"
+		fmt.Fprintf(bw, "# HELP %s Counter %q.\n", wire, name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", wire)
+		fmt.Fprintf(bw, "%s %d\n", wire, counters[name].Value())
+	}
+	for _, name := range sortedKeys(gauges) {
+		wire := promName(name)
+		fmt.Fprintf(bw, "# HELP %s Gauge %q.\n", wire, name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", wire)
+		fmt.Fprintf(bw, "%s %d\n", wire, gauges[name].Value())
+	}
+	for _, name := range sortedKeys(histograms) {
+		h := histograms[name]
+		wire := promName(name)
+		fmt.Fprintf(bw, "# HELP %s Histogram %q.\n", wire, name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", wire)
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", wire, promFloat(bound), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", wire, cum)
+		fmt.Fprintf(bw, "%s_sum %s\n", wire, promFloat(h.Sum()))
+		fmt.Fprintf(bw, "%s_count %d\n", wire, h.count.Load())
+	}
+	return bw.Flush()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ValidatePromText checks that every line of a scrape is either a
+// "# HELP"/"# TYPE" comment or a sample of the form
+// `name{labels} value`, with metric names matching the exposition
+// format's grammar. It is the repo's own scrape validator, used by the
+// handler tests and the CI scrape smoke; it checks line shape, not
+// full protocol semantics.
+func ValidatePromText(b []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	n := 0
+	samples := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				return fmt.Errorf("prom: line %d: unknown comment %q", n, line)
+			}
+			continue
+		}
+		if err := validatePromSample(line); err != nil {
+			return fmt.Errorf("prom: line %d: %w", n, err)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("prom: scan: %w", err)
+	}
+	if samples == 0 {
+		return fmt.Errorf("prom: no samples in scrape")
+	}
+	return nil
+}
+
+func validatePromSample(line string) error {
+	// name, optional {labels}, one space, value.
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return fmt.Errorf("malformed sample %q", line)
+	}
+	name := line[:i]
+	if !validPromName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		close := strings.Index(rest, "}")
+		if close < 0 {
+			return fmt.Errorf("unterminated labels in %q", line)
+		}
+		labels := rest[1:close]
+		for _, pair := range strings.Split(labels, ",") {
+			eq := strings.Index(pair, "=")
+			if eq <= 0 || !validPromLabel(pair[:eq]) {
+				return fmt.Errorf("invalid label pair %q", pair)
+			}
+			v := pair[eq+1:]
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return fmt.Errorf("unquoted label value in %q", pair)
+			}
+		}
+		rest = rest[close+1:]
+	}
+	if len(rest) < 2 || rest[0] != ' ' {
+		return fmt.Errorf("missing value in %q", line)
+	}
+	val := rest[1:]
+	if val != "+Inf" && val != "-Inf" && val != "NaN" {
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return fmt.Errorf("bad sample value %q", val)
+		}
+	}
+	return nil
+}
+
+func validPromName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func validPromLabel(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Enable()
+	r.Counter("test.requests").Add(7)
+	r.Gauge("test.active").Set(3)
+	h := r.Histogram("test.seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5) // overflow
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE lhmm_test_requests_total counter\n",
+		"lhmm_test_requests_total 7\n",
+		"# TYPE lhmm_test_active gauge\n",
+		"lhmm_test_active 3\n",
+		"# TYPE lhmm_test_seconds histogram\n",
+		"lhmm_test_seconds_bucket{le=\"0.1\"} 1\n",
+		"lhmm_test_seconds_bucket{le=\"1\"} 2\n",
+		"lhmm_test_seconds_bucket{le=\"+Inf\"} 3\n",
+		"lhmm_test_seconds_sum 5.55\n",
+		"lhmm_test_seconds_count 3\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q in:\n%s", want, text)
+		}
+	}
+	if err := ValidatePromText(buf.Bytes()); err != nil {
+		t.Errorf("own scrape fails validation: %v", err)
+	}
+}
+
+// Zero-observation instruments still appear so the series set is
+// stable from process start.
+func TestWritePrometheusZeroInstruments(t *testing.T) {
+	r := New()
+	r.Counter("zero.counter")
+	r.Histogram("zero.seconds", []float64{1})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"lhmm_zero_counter_total 0\n",
+		"lhmm_zero_seconds_bucket{le=\"+Inf\"} 0\n",
+		"lhmm_zero_seconds_count 0\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestValidatePromTextRejects(t *testing.T) {
+	bad := []string{
+		"",                            // no samples at all
+		"# BOGUS comment\nlhmm_x 1\n", // unknown comment
+		"9leading_digit 1\n",          // name starts with digit
+		"lhmm_x{le=0.1} 1\n",          // unquoted label value
+		"lhmm_x{le=\"0.1\"\n",         // unterminated labels
+		"lhmm_x\n",                    // missing value
+		"lhmm_x notanumber\n",         // bad value
+	}
+	for _, text := range bad {
+		if err := ValidatePromText([]byte(text)); err == nil {
+			t.Errorf("ValidatePromText accepted %q", text)
+		}
+	}
+	good := "lhmm_x{le=\"+Inf\"} 42\nlhmm_y 1.5e-3\nlhmm_z +Inf\n"
+	if err := ValidatePromText([]byte(good)); err != nil {
+		t.Errorf("ValidatePromText rejected good scrape: %v", err)
+	}
+}
+
+// TestPromScrapeFile validates an externally captured scrape (the CI
+// serve-smoke writes one and reruns this test against it). Skipped
+// unless PROM_SCRAPE_FILE is set.
+func TestPromScrapeFile(t *testing.T) {
+	path := os.Getenv("PROM_SCRAPE_FILE")
+	if path == "" {
+		t.Skip("PROM_SCRAPE_FILE not set")
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePromText(b); err != nil {
+		t.Fatalf("scrape %s: %v", path, err)
+	}
+	if !bytes.Contains(b, []byte("lhmm_")) {
+		t.Fatalf("scrape %s has no lhmm_ series", path)
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketQuantile(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	// 10 obs <=1, 10 in (1,2], 10 in (2,4], none overflow.
+	counts := []int64{10, 10, 10, 0}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 0},     // rank 0: bottom edge of the first bucket
+		{0.5, 1.5}, // rank 15: 5 of 10 into (1,2]
+		{1, 4},     // last observation: top of (2,4]
+	}
+	for _, c := range cases {
+		got := bucketQuantile(bounds, counts, c.q)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("q=%g: got %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestBucketQuantileOverflowClamps(t *testing.T) {
+	bounds := []float64{1, 2}
+	counts := []int64{0, 0, 5} // everything above the last finite bound
+	if got := bucketQuantile(bounds, counts, 0.99); got != 2 {
+		t.Errorf("overflow quantile = %g, want clamp to last finite bound 2", got)
+	}
+}
+
+func TestBucketQuantileEmpty(t *testing.T) {
+	if got := bucketQuantile([]float64{1}, []int64{0, 0}, 0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := New()
+	r.Enable()
+	h := r.Histogram("q.test.seconds", []float64{0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // third bucket
+	}
+	if p50 := h.Quantile(0.5); p50 > 0.01 {
+		t.Errorf("p50 = %g, want within first bucket (<=0.01)", p50)
+	}
+	p95 := h.Quantile(0.95)
+	if p95 <= 0.1 || p95 > 1 {
+		t.Errorf("p95 = %g, want inside (0.1, 1]", p95)
+	}
+	// The snapshot carries the same quantiles.
+	snap := r.Snapshot()
+	hs := snap.Histograms["q.test.seconds"]
+	if hs.P50 != h.Quantile(0.5) || hs.P95 != h.Quantile(0.95) || hs.P99 != h.Quantile(0.99) {
+		t.Errorf("snapshot quantiles %v/%v/%v disagree with histogram", hs.P50, hs.P95, hs.P99)
+	}
+}

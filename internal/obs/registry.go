@@ -252,6 +252,16 @@ var LatencyBuckets = []float64{
 	0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30,
 }
 
+// FineLatencyBuckets are bounds (in seconds) for microsecond-scale
+// inner loops (per-pair Dijkstra, single-batch scoring): 1µs to 1s in
+// roughly 3× steps. LatencyBuckets bottoms out at 100µs, which lumps
+// most router queries into one bucket and makes their quantiles
+// useless.
+var FineLatencyBuckets = []float64{
+	0.000001, 0.000003, 0.00001, 0.00003, 0.0001, 0.0003,
+	0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1,
+}
+
 // Snapshot is a point-in-time JSON-marshalable view of a registry.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
@@ -260,18 +270,25 @@ type Snapshot struct {
 }
 
 // HistogramSnapshot is one histogram's state: cumulative counts per
-// upper bound plus the overflow bucket.
+// upper bound plus the overflow bucket, with bucket-interpolated
+// latency quantiles precomputed for dashboards and bench output.
 type HistogramSnapshot struct {
 	Count    int64     `json:"count"`
 	Sum      float64   `json:"sum"`
 	Mean     float64   `json:"mean"`
+	P50      float64   `json:"p50"`
+	P95      float64   `json:"p95"`
+	P99      float64   `json:"p99"`
 	Bounds   []float64 `json:"bounds"`
 	Buckets  []int64   `json:"buckets"` // len(Bounds)+1; last is +Inf
 	Overflow int64     `json:"-"`
 }
 
-// Snapshot captures every instrument's current value. Instruments that
-// never recorded anything are omitted, keeping JSON dumps focused.
+// Snapshot captures every instrument's current value. Counters that
+// never incremented are omitted to keep JSON dumps focused, but every
+// registered histogram is emitted even at zero observations so the
+// scrape series set is stable (an unregistered histogram and an idle
+// one used to be indistinguishable).
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -289,9 +306,6 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.histograms {
-		if h.Count() == 0 {
-			continue
-		}
 		hs := HistogramSnapshot{
 			Count:   h.Count(),
 			Sum:     h.Sum(),
@@ -303,6 +317,9 @@ func (r *Registry) Snapshot() Snapshot {
 			hs.Buckets[i] = h.counts[i].Load()
 		}
 		hs.Overflow = hs.Buckets[len(hs.Buckets)-1]
+		hs.P50 = bucketQuantile(hs.Bounds, hs.Buckets, 0.50)
+		hs.P95 = bucketQuantile(hs.Bounds, hs.Buckets, 0.95)
+		hs.P99 = bucketQuantile(hs.Bounds, hs.Buckets, 0.99)
 		s.Histograms[name] = hs
 	}
 	return s
@@ -315,6 +332,31 @@ func (r *Registry) CounterNames() []string {
 	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.counters))
 	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GaugeNames returns the sorted names of all registered gauges.
+func (r *Registry) GaugeNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramNames returns the sorted names of all registered
+// histograms.
+func (r *Registry) HistogramNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.histograms))
+	for name := range r.histograms {
 		names = append(names, name)
 	}
 	sort.Strings(names)

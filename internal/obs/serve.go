@@ -14,11 +14,28 @@ import (
 
 var publishOnce sync.Once
 
+// PromHandler serves the Default registry in the Prometheus text
+// exposition format. Shared by the debug server and lhmm-serve.
+func PromHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", PromContentType)
+	Default.WritePrometheus(w) //nolint:errcheck // best-effort scrape endpoint
+}
+
+// SnapshotHandler serves the Default registry snapshot as indented
+// JSON — the pre-Prometheus format, kept for compatibility.
+func SnapshotHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(Default.Snapshot()) //nolint:errcheck // best-effort debug endpoint
+}
+
 // Serve starts a debug HTTP server on addr exposing:
 //
 //	/debug/pprof/*  — net/http/pprof profiling endpoints
 //	/debug/vars     — expvar, including the Default registry under "obs"
-//	/metrics        — the Default registry snapshot as JSON
+//	/metrics        — the Default registry in Prometheus text format
+//	/metrics.json   — the Default registry snapshot as JSON (legacy)
 //
 // It enables the Default registry (metrics that nobody records are
 // useless to serve) and returns the bound address plus a stop function.
@@ -35,12 +52,8 @@ func Serve(addr string) (string, func() error, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(Default.Snapshot()) //nolint:errcheck // best-effort debug endpoint
-	})
+	mux.HandleFunc("/metrics", PromHandler)
+	mux.HandleFunc("/metrics.json", SnapshotHandler)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

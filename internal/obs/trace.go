@@ -41,10 +41,13 @@ type PointTrace struct {
 	Skipped bool `json:"skipped,omitempty"`
 }
 
-// StageTimings is wall-clock seconds per matching stage.
+// StageTimings is wall-clock seconds per matching stage. TransitionS
+// is the transition-fill portion of ViterbiS (nested, not additive
+// with it); the other stages partition TotalS.
 type StageTimings struct {
 	CandidatesS float64 `json:"candidates_s"`
 	ViterbiS    float64 `json:"viterbi_s"`
+	TransitionS float64 `json:"transition_s"`
 	ShortcutsS  float64 `json:"shortcuts_s"`
 	BacktrackS  float64 `json:"backtrack_s"`
 	ExpandS     float64 `json:"expand_s"`

@@ -21,7 +21,9 @@ var (
 	obsCacheSize      = obs.Default.Gauge("router.cache.size")
 	obsRoutes         = obs.Default.Counter("router.routes")
 	obsRouteMisses    = obs.Default.Counter("router.routes.unreachable")
-	obsDijkstraS      = obs.Default.Histogram("router.dijkstra.seconds", obs.LatencyBuckets)
+	// Dijkstra runs are microsecond-scale; the fine buckets keep its
+	// quantiles meaningful (the coarse LatencyBuckets start at 100µs).
+	obsDijkstraS = obs.Default.Histogram("router.dijkstra.seconds", obs.FineLatencyBuckets)
 )
 
 // PointOnRoad is a position expressed as a fraction along a segment —

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cellular"
 	"repro/internal/geo"
 	"repro/internal/hmm"
+	"repro/internal/obs"
 	"repro/internal/traj"
 )
 
@@ -102,6 +103,17 @@ type MatchResponse struct {
 	// DroppedPoints counts input points removed by drop-mode
 	// sanitization; indices above refer to the sanitized trajectory.
 	DroppedPoints int `json:"dropped_points,omitempty"`
+}
+
+// DebugMatchResponse is the body of POST /v1/match?debug=1 (and of
+// lhmm match -json -trace): the normal response plus the per-request
+// MatchTrace — per-point candidate counts and score stats, Viterbi
+// breaks, and stage wall-clock. Embedding MatchResponse keeps the
+// leading fields byte-identical to the non-debug encoding; the trace
+// block is strictly appended.
+type DebugMatchResponse struct {
+	MatchResponse
+	Trace *obs.MatchTrace `json:"trace,omitempty"`
 }
 
 // ResultJSON converts a match result to the wire form.
@@ -230,6 +242,9 @@ type PushResponse struct {
 	// Dropped counts points in this request removed by drop-mode
 	// sanitization (they consume no stream index).
 	Dropped int `json:"dropped,omitempty"`
+	// Degraded counts scoring events in this batch that fell back to
+	// the classical models (the per-push quality signal).
+	Degraded int `json:"degraded,omitempty"`
 }
 
 // SessionStatus is the body of GET /v1/sessions/{id}.

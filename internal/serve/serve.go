@@ -35,12 +35,13 @@ import (
 
 // HTTP telemetry.
 var (
-	obsRequests  = obs.Default.Counter("serve.requests")
-	obsErrors    = obs.Default.Counter("serve.errors")
-	obsRequestS  = obs.Default.Histogram("serve.request.seconds", obs.LatencyBuckets)
-	obsDraining  = obs.Default.Gauge("serve.draining")
-	obsMatches   = obs.Default.Counter("serve.matches")
-	obsMatchErrs = obs.Default.Counter("serve.match.errors")
+	obsRequests   = obs.Default.Counter("serve.requests")
+	obsErrors     = obs.Default.Counter("serve.errors")
+	obsRequestS   = obs.Default.Histogram("serve.request.seconds", obs.LatencyBuckets)
+	obsDraining   = obs.Default.Gauge("serve.draining")
+	obsMatches    = obs.Default.Counter("serve.matches")
+	obsMatchErrs  = obs.Default.Counter("serve.match.errors")
+	obsQualityDeg = obs.Default.Gauge("serve.quality.degraded")
 )
 
 // Config parameterizes a Server. Zero values get sane defaults.
@@ -62,6 +63,10 @@ type Config struct {
 	MatchTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
+	// Quality configures the online SLO monitor behind GET /v1/quality
+	// and the /readyz quality detail. Zero thresholds disable their
+	// checks; window/slot zero values take the obs defaults.
+	Quality obs.QualityConfig
 }
 
 func (c *Config) withDefaults() Config {
@@ -97,6 +102,7 @@ type Server struct {
 	reg  *Registry
 	sess *SessionManager
 	adm  *admission
+	qm   *obs.QualityMonitor
 	mux  *http.ServeMux
 
 	draining  chan struct{} // closed by Drain
@@ -122,6 +128,21 @@ func New(reg *Registry, cfg Config) *Server {
 		adm:      newAdmission(c.Workers, c.Queue),
 		draining: make(chan struct{}),
 	}
+	// The quality monitor mirrors its status into a gauge on top of any
+	// caller-provided transition hook.
+	qcfg := c.Quality
+	userCB := qcfg.OnTransition
+	qcfg.OnTransition = func(degraded bool, violations []string) {
+		if degraded {
+			obsQualityDeg.Set(1)
+		} else {
+			obsQualityDeg.Set(0)
+		}
+		if userCB != nil {
+			userCB(degraded, violations)
+		}
+	}
+	s.qm = obs.NewQualityMonitor(qcfg)
 	s.sess.Start()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/match", s.handleMatch)
@@ -130,21 +151,13 @@ func New(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/finish", s.handleSessionFinish)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStatus)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /v1/quality", s.handleQuality)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	return s
-}
-
-// Handler returns the server's HTTP handler (instrumented mux).
-func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		obsRequests.Inc()
-		start := time.Now()
-		s.mux.ServeHTTP(w, r)
-		obsRequestS.Observe(time.Since(start).Seconds())
-	})
 }
 
 // Sessions exposes the session manager (tests drive Sweep directly).
@@ -298,8 +311,21 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// ?debug=1 collects the per-request MatchTrace on a private model
+	// copy (Cfg is a value; the shared model must never see the flag).
+	debug := r.URL.Query().Get("debug") == "1"
+	if debug && !mm.Cfg.Trace {
+		if mm == m {
+			cp := *m
+			mm = &cp
+		}
+		mm.Cfg.Trace = true
+	}
+	asp := obs.SpanFromContext(r.Context()).StartChild("admission")
 	release, err := s.adm.acquire(r.Context())
+	asp.End()
 	if err != nil {
+		s.recordMatchFailure(err)
 		writeError(w, errorCode(err), err)
 		return
 	}
@@ -322,14 +348,38 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	matchStart := time.Now()
 	res, err := mm.MatchContext(ctx, ct)
 	if err != nil {
 		obsMatchErrs.Inc()
+		s.recordMatchFailure(err)
 		writeError(w, errorCode(err), err)
 		return
 	}
 	obsMatches.Inc()
+	s.qm.RecordMatch(time.Since(matchStart), res.Degraded > 0, len(res.Gaps) > 0)
+	if debug {
+		writeJSON(w, http.StatusOK, DebugMatchResponse{
+			MatchResponse: ResultJSON(res),
+			Trace:         res.Trace,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, ResultJSON(res))
+}
+
+// recordMatchFailure feeds a failed matching request into the quality
+// monitor under the right signal: shed, empty-candidate, or plain
+// error.
+func (s *Server) recordMatchFailure(err error) {
+	switch {
+	case errors.Is(err, errOverloaded):
+		s.qm.RecordShed()
+	case errors.Is(err, hmm.ErrNoCandidates):
+		s.qm.RecordEmpty()
+	default:
+		s.qm.RecordError()
+	}
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
@@ -371,7 +421,9 @@ func (s *Server) handleSessionPush(w http.ResponseWriter, r *http.Request) {
 	if s.refuseDraining(w) {
 		return
 	}
+	lsp := obs.SpanFromContext(r.Context()).StartChild("session_lookup")
 	sess, err := s.sess.Get(r.PathValue("id"))
+	lsp.End()
 	if err != nil {
 		writeError(w, errorCode(err), err)
 		return
@@ -389,8 +441,11 @@ func (s *Server) handleSessionPush(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	asp := obs.SpanFromContext(r.Context()).StartChild("admission")
 	release, err := s.adm.acquire(r.Context())
+	asp.End()
 	if err != nil {
+		s.recordMatchFailure(err)
 		writeError(w, errorCode(err), err)
 		return
 	}
@@ -398,16 +453,20 @@ func (s *Server) handleSessionPush(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	defer s.wg.Done()
 
-	fin, dropped, err := sess.push(ct, time.Now())
+	pushStart := time.Now()
+	fin, dropped, degDelta, err := sess.push(ct, pushStart)
 	if err != nil {
 		obsMatchErrs.Inc()
+		s.recordMatchFailure(err)
 		writeError(w, errorCode(err), err)
 		return
 	}
+	s.qm.RecordMatch(time.Since(pushStart), degDelta > 0, false)
 	writeJSON(w, http.StatusOK, PushResponse{
 		Finalized: matchedJSON(fin),
 		Pending:   sess.status().Pending,
 		Dropped:   dropped,
+		Degraded:  degDelta,
 	})
 }
 
@@ -473,14 +532,24 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errors.New("serve: draining"))
 	case s.reg.Model() == nil:
 		writeError(w, http.StatusServiceUnavailable, errors.New("serve: no model loaded"))
+	case s.qm.Degraded():
+		// Degraded quality is a detail, not unreadiness: the service
+		// still answers (possibly on the classical fallback), so
+		// pulling it from rotation would only shift load elsewhere.
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready", "quality": "degraded"})
 	default:
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	}
 }
 
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.qm.Report())
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(obs.Default.Snapshot()) //nolint:errcheck // best-effort debug endpoint
+	obs.PromHandler(w, r)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	obs.SnapshotHandler(w, r)
 }

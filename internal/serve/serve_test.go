@@ -16,6 +16,7 @@ import (
 	"repro/internal/cellular"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/synth"
 	"repro/internal/traj"
 )
@@ -427,7 +428,7 @@ func TestHealthReadyMetrics(t *testing.T) {
 	_, m := fixture(t)
 	_, ts := testServer(t, m, Config{})
 
-	for _, ep := range []string{"/healthz", "/readyz", "/metrics"} {
+	for _, ep := range []string{"/healthz", "/readyz", "/metrics.json", "/v1/quality"} {
 		resp, err := http.Get(ts.URL + ep)
 		if err != nil {
 			t.Fatal(err)
@@ -440,6 +441,19 @@ func TestHealthReadyMetrics(t *testing.T) {
 		if !json.Valid(body) {
 			t.Fatalf("%s: invalid JSON: %s", ep, body)
 		}
+	}
+	// /metrics is Prometheus text now.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d (%s)", resp.StatusCode, body)
+	}
+	if err := obs.ValidatePromText(body); err != nil {
+		t.Fatalf("/metrics: %v", err)
 	}
 }
 

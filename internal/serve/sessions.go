@@ -64,24 +64,27 @@ type Session struct {
 func (s *Session) touch(now time.Time) { s.lastNano.Store(now.UnixNano()) }
 
 // push feeds points through the session's matcher under its writer
-// lock and reports the newly finalized matches plus drop-mode
-// sanitization count.
-func (s *Session) push(pts traj.CellTrajectory, now time.Time) (fin []hmm.Candidate, dropped int, err error) {
+// lock and reports the newly finalized matches, the drop-mode
+// sanitization count, and the degraded-scoring delta this batch caused
+// (the quality monitor's per-push signal).
+func (s *Session) push(pts traj.CellTrajectory, now time.Time) (fin []hmm.Candidate, dropped, degraded int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.done {
-		return nil, 0, errSessionNotFound
+		return nil, 0, 0, errSessionNotFound
 	}
 	s.touch(now)
 	before := s.sm.Sanitize().Dropped()
+	degBefore := s.sm.Degraded()
 	for i, p := range pts {
 		out, perr := s.sm.Push(p)
 		fin = append(fin, out...)
 		if perr != nil {
-			return fin, s.sm.Sanitize().Dropped() - before, fmt.Errorf("point %d: %w", i, perr)
+			return fin, s.sm.Sanitize().Dropped() - before, s.sm.Degraded() - degBefore,
+				fmt.Errorf("point %d: %w", i, perr)
 		}
 	}
-	return fin, s.sm.Sanitize().Dropped() - before, nil
+	return fin, s.sm.Sanitize().Dropped() - before, s.sm.Degraded() - degBefore, nil
 }
 
 // finish flushes the matcher and returns the complete result view.

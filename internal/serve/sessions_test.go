@@ -122,11 +122,11 @@ func TestConcurrentSessionPushes(t *testing.T) {
 				return
 			}
 			for _, p := range pts {
-				if _, _, err := shared.push(traj.CellTrajectory{p}, now); err != nil {
+				if _, _, _, err := shared.push(traj.CellTrajectory{p}, now); err != nil {
 					t.Errorf("shared push: %v", err)
 					return
 				}
-				if _, _, err := own.push(traj.CellTrajectory{p}, now); err != nil {
+				if _, _, _, err := own.push(traj.CellTrajectory{p}, now); err != nil {
 					t.Errorf("own push: %v", err)
 					return
 				}
@@ -160,7 +160,7 @@ func TestSessionDoubleFinish(t *testing.T) {
 	if _, err := s.finish(); !errors.Is(err, errSessionNotFound) {
 		t.Fatalf("second finish: %v, want errSessionNotFound", err)
 	}
-	if _, _, err := s.push(nil, time.Now()); !errors.Is(err, errSessionNotFound) {
+	if _, _, _, err := s.push(nil, time.Now()); !errors.Is(err, errSessionNotFound) {
 		t.Fatalf("push after finish: %v, want errSessionNotFound", err)
 	}
 }
