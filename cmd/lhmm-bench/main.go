@@ -46,11 +46,14 @@ import (
 
 // output is the -json document (schema lhmm-bench/v1).
 type output struct {
-	Schema      string       `json:"schema"`
-	Timestamp   string       `json:"timestamp"`
-	Scale       float64      `json:"scale"`
-	Trips       int          `json:"trips"`
-	Experiments []experiment `json:"experiments"`
+	Schema    string `json:"schema"`
+	Timestamp string `json:"timestamp"`
+	// Build stamps the producing binary (version, go toolchain, vcs
+	// commit) so committed BENCH_*.json runs are attributable.
+	Build       obs.BuildInfo `json:"build"`
+	Scale       float64       `json:"scale"`
+	Trips       int           `json:"trips"`
+	Experiments []experiment  `json:"experiments"`
 	// TotalWallS is end-to-end wall-clock including dataset generation
 	// and model training triggered lazily by the first experiment.
 	TotalWallS float64 `json:"total_wall_s"`
@@ -198,6 +201,7 @@ func buildDoc(results []experiment, scale float64, trips int, totalS float64) *o
 	return &output{
 		Schema:              "lhmm-bench/v1",
 		Timestamp:           time.Now().UTC().Format(time.RFC3339),
+		Build:               obs.GetBuildInfo(),
 		Scale:               scale,
 		Trips:               trips,
 		Experiments:         results,

@@ -16,6 +16,7 @@
 //	DELETE /v1/sessions/{id}          discard a session
 //	POST   /v1/reload                 hot-reload model weights from -model
 //	GET    /v1/quality                windowed quality/SLO report
+//	GET    /v1/drift                  learned-score drift vs the -drift-baseline (PSI/KL per signal)
 //	GET    /healthz /readyz           liveness, readiness (with quality detail)
 //	GET    /metrics /metrics.json     Prometheus text exposition, JSON snapshot
 //
@@ -75,6 +76,10 @@ func run(args []string) error {
 	sloEmpty := fs.Float64("slo-empty-rate", 0.20, "max fraction of requests failing with no candidates")
 	sloShed := fs.Float64("slo-shed-rate", 0.05, "max fraction of requests shed by admission control")
 	sloP99 := fs.Duration("slo-p99", 0, "p99 match latency objective (0 disables)")
+	sloDriftPSI := fs.Float64("slo-drift-psi", 0, "max learned-score drift PSI vs -drift-baseline before /readyz reports degraded (0 disables)")
+	driftBaseline := fs.String("drift-baseline", "", "training-time drift baseline file (enables GET /v1/drift and lhmm_drift_* gauges)")
+	captureOut := fs.String("capture-out", "", "capture sampled match requests + response digests as JSONL to this file (for lhmm replay)")
+	captureSample := fs.Float64("capture-sample", 1, "fraction of eligible match requests to capture in [0,1]")
 	of := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -145,6 +150,26 @@ func run(args []string) error {
 		return fmt.Errorf("initial model load: %w", err)
 	}
 
+	var baseline *obs.DriftBaseline
+	if *driftBaseline != "" {
+		baseline, err = obs.LoadDriftBaseline(*driftBaseline)
+		if err != nil {
+			return fmt.Errorf("drift baseline: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "lhmm-serve: drift baseline %s (%d signals, model %q)\n",
+			*driftBaseline, len(baseline.Signals), baseline.Model)
+	}
+	var capture *serve.Capture
+	if *captureOut != "" {
+		capture, err = serve.OpenCaptureFile(*captureOut, *captureSample)
+		if err != nil {
+			return err
+		}
+		defer capture.Close() //nolint:errcheck // exiting anyway
+		fmt.Fprintf(os.Stderr, "lhmm-serve: capturing matches to %s (sample %.2f)\n",
+			*captureOut, *captureSample)
+	}
+
 	srv := serve.New(reg, serve.Config{
 		Workers:      *workers,
 		Queue:        *queue,
@@ -159,7 +184,11 @@ func run(args []string) error {
 			MaxEmptyRate:    *sloEmpty,
 			MaxShedRate:     *sloShed,
 			MaxP99:          *sloP99,
+			MaxDriftPSI:     *sloDriftPSI,
 		},
+		DriftBaseline:     baseline,
+		DriftBaselinePath: *driftBaseline,
+		Capture:           capture,
 	})
 	defer srv.Close()
 

@@ -13,7 +13,10 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -55,6 +58,8 @@ func main() {
 		err = cmdMatch(os.Args[2:])
 	case "eval":
 		err = cmdEval(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -73,6 +78,7 @@ commands:
   train     train an LHMM on a dataset's training split
   match     match one test trajectory and report metrics
   eval      evaluate methods on the test split
+  replay    re-run requests from an lhmm-serve capture file and diff outputs
 
 observability flags (every command):
   -metrics FILE     dump telemetry counters/histograms as JSON on exit ('-' for stderr)
@@ -174,6 +180,7 @@ func cmdTrain(args []string) error {
 	seed := fs.Int64("seed", 1, "training seed")
 	trace := fs.Bool("trace", false, "collect per-trajectory match traces during calibration")
 	parallel := fs.Int("parallel", 0, "transition fan-out workers per match (<=1 sequential; output identical)")
+	driftBaseline := fs.String("drift-baseline", "", "drift baseline output file (default <model>.baseline.json; 'none' skips)")
 	cleanup, err := parseWithObs(fs, args)
 	if err != nil {
 		return err
@@ -204,6 +211,24 @@ func cmdTrain(args []string) error {
 	}
 	fmt.Printf("trained LHMM (dim %d, %d epochs) on %d trips; weights -> %s\n",
 		*dim, *epochs, len(ds.Train), *out)
+	// Score-distribution baseline for online drift monitoring
+	// (lhmm-serve -drift-baseline): replay validation trips through the
+	// trained model and record emission/transition/candidate sketches.
+	if *driftBaseline != "none" {
+		basePath := *driftBaseline
+		if basePath == "" {
+			basePath = *out + ".baseline.json"
+		}
+		base, err := model.CollectDriftBaseline(ds, 16, *out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lhmm: drift baseline skipped:", err)
+			return nil
+		}
+		if err := base.WriteFile(basePath); err != nil {
+			return err
+		}
+		fmt.Printf("drift baseline (%d signals) -> %s\n", len(base.Signals), basePath)
+	}
 	return nil
 }
 
@@ -239,6 +264,7 @@ func cmdMatch(args []string) error {
 	dumpTraj := fs.String("dump-traj", "", "write the -trip trajectory as MatchRequest JSON and exit ('-' for stdout; no model needed)")
 	geojson := fs.String("geojson", "", "optional GeoJSON output file")
 	traceOut := fs.String("trace", "", "write the per-trajectory match trace as JSON ('-' for stdout; with -json it is embedded in the response instead)")
+	explain := fs.Bool("explain", false, "collect the per-decision explanation (top-k candidates, margins, chosen routes); with -json it is embedded in the response, matching POST /v1/match?explain=1")
 	parallel := fs.Int("parallel", 0, "transition fan-out workers per match (<=1 sequential; output identical)")
 	onBreak := fs.String("on-break", "error", "dead-point policy: error|skip|split")
 	sanitize := fs.String("sanitize", "strict", "input validation: strict|drop|off")
@@ -259,6 +285,7 @@ func cmdMatch(args []string) error {
 		return err
 	}
 	model.Cfg.Trace = *traceOut != ""
+	model.Cfg.Explain = *explain
 	model.Cfg.Parallel = *parallel
 	if model.Cfg.OnBreak, err = lhmm.ParseBreakPolicy(*onBreak); err != nil {
 		return err
@@ -341,7 +368,13 @@ func cmdMatch(args []string) error {
 		// debug form instead — the same leading fields plus the appended
 		// trace block, matching POST /v1/match?debug=1.
 		enc := json.NewEncoder(os.Stdout)
-		if *traceOut != "" {
+		switch {
+		case *explain:
+			// Matches POST /v1/match?explain=1 byte-for-byte (the trace
+			// block rides along when -trace is also set, as it does for
+			// ?debug=1&explain=1).
+			return enc.Encode(serve.ExplainMatchResponse{MatchResponse: serve.ResultJSON(res), Trace: res.Trace, Explain: res.Explain})
+		case *traceOut != "":
 			return enc.Encode(serve.DebugMatchResponse{MatchResponse: serve.ResultJSON(res), Trace: res.Trace})
 		}
 		return enc.Encode(serve.ResultJSON(res))
@@ -379,6 +412,24 @@ func cmdMatch(args []string) error {
 	}
 	if res.Degraded > 0 {
 		fmt.Printf("degraded scoring events (classical fallback): %d\n", res.Degraded)
+	}
+	if ex := res.Explain; ex != nil {
+		decisions := 0
+		for i := range ex.Points {
+			if !ex.Points[i].Dead {
+				decisions++
+			}
+		}
+		fmt.Printf("explain: %d decisions, %d low-margin (< %.3f nats)\n",
+			decisions, ex.LowMarginDecisions, ex.MarginThreshold)
+		for i := range ex.Points {
+			ch := ex.Points[i].Chosen
+			if ch == nil || !ch.LowMargin {
+				continue
+			}
+			fmt.Printf("  point %d: seg %d margin %.4f (prev seg %d)\n",
+				ex.Points[i].Index, ch.Seg, ch.Margin, ch.PrevSeg)
+		}
 	}
 	if *geojson != "" && tr != nil {
 		cs := caseFor(ds, tr, res.Path)
@@ -435,6 +486,121 @@ func readMatchRequest(path string) (*serve.MatchRequest, error) {
 		return nil, fmt.Errorf("reading trajectory %s: %w", path, err)
 	}
 	return &req, nil
+}
+
+// cmdReplay re-runs requests from an lhmm-serve capture file against a
+// model and compares the re-encoded responses with the captured
+// digests. Identical digests prove the serving stack still answers
+// byte-for-byte what it answered at capture time — the regression
+// check for model rollouts and scoring refactors.
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	data := fs.String("data", "dataset.json", "dataset file")
+	modelPath := fs.String("model", "model.json", "model weights file")
+	dim := fs.Int("dim", 32, "embedding dimension the model was trained with")
+	k := fs.Int("k", 30, "candidates per point")
+	seed := fs.Int64("seed", 1, "seed the model was trained with")
+	capturesPath := fs.String("captures", "-", "capture JSONL file from lhmm-serve -capture-out ('-' for stdin)")
+	tolerate := fs.Bool("tolerate", false, "report diffs but exit 0 (shadow-scoring mode)")
+	verbose := fs.Bool("v", false, "print one line per replayed record")
+	cleanup, err := parseWithObs(fs, args)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	ds, err := loadDataset(*data)
+	if err != nil {
+		return err
+	}
+	var in io.Reader = os.Stdin
+	if *capturesPath != "-" {
+		f, err := os.Open(*capturesPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	recs, err := serve.ReadCaptures(in)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no capture records in %s", *capturesPath)
+	}
+	model, err := loadModel(ds, *modelPath, *dim, *k, *seed)
+	if err != nil {
+		return err
+	}
+
+	identical, diffs, failed := 0, 0, 0
+	for i := range recs {
+		rec := &recs[i]
+		id := rec.ID
+		if id == "" {
+			id = fmt.Sprintf("#%d", i+1)
+		}
+		// Replay under the captured effective configuration on a private
+		// model copy (the capture's Config already folds in any
+		// per-request overrides, so request options are not re-applied).
+		mm := *model
+		if rec.Config.OnBreak != "" {
+			if mm.Cfg.OnBreak, err = lhmm.ParseBreakPolicy(rec.Config.OnBreak); err != nil {
+				return fmt.Errorf("capture %s: %w", id, err)
+			}
+		}
+		if rec.Config.Sanitize != "" {
+			if mm.Cfg.Sanitize, err = lhmm.ParseSanitizeMode(rec.Config.Sanitize); err != nil {
+				return fmt.Errorf("capture %s: %w", id, err)
+			}
+		}
+		if rec.Config.K > 0 {
+			mm.Cfg.K = rec.Config.K
+		}
+		mm.Cfg.Shortcuts = rec.Config.Shortcuts
+		ct, err := rec.Request.Trajectory(ds.Cells)
+		if err != nil {
+			failed++
+			fmt.Printf("replay %s: bad request: %v\n", id, err)
+			continue
+		}
+		res, err := mm.Match(ct)
+		if err != nil {
+			failed++
+			fmt.Printf("replay %s: match failed: %v\n", id, err)
+			continue
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(serve.ResultJSON(res)); err != nil {
+			return err
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		got := hex.EncodeToString(sum[:])
+		if got == rec.Response.SHA256 {
+			identical++
+			if *verbose {
+				fmt.Printf("replay %s: identical (%d bytes)\n", id, buf.Len())
+			}
+			continue
+		}
+		diffs++
+		fmt.Printf("replay %s: DIFF captured %s (%d bytes, score %.6g) vs replayed %s (%d bytes, score %.6g)\n",
+			id, shortHash(rec.Response.SHA256), rec.Response.Bytes, rec.Response.Score,
+			shortHash(got), buf.Len(), res.Score)
+	}
+	fmt.Printf("replayed %d captures: %d identical, %d diffs, %d failed\n",
+		len(recs), identical, diffs, failed)
+	if (diffs > 0 || failed > 0) && !*tolerate {
+		return fmt.Errorf("%d of %d captures did not reproduce", diffs+failed, len(recs))
+	}
+	return nil
+}
+
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
 }
 
 func caseFor(ds *traj.Dataset, tr *traj.Trip, path []lhmm.SegmentID) *eval.CaseStudy {

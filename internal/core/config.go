@@ -93,6 +93,18 @@ type Config struct {
 	// Off by default; costs a few clock reads per match when on.
 	Trace bool
 
+	// Explain attaches a per-decision hmm.Explain artifact to every
+	// Match result: top-k candidate emission breakdowns (learned score
+	// vs. classical fallback), the chosen backpointer with step score
+	// and route, and winner/runner-up margins. Off by default; costs
+	// per-point allocations and one route query per chosen transition.
+	Explain bool
+	// ExplainTopK bounds the per-point candidate breakdown (default 5).
+	ExplainTopK int
+	// ExplainLowMargin is the margin (nats) below which a decision is
+	// flagged low-confidence (default 0.05).
+	ExplainLowMargin float64
+
 	// Parallel bounds the worker pool the per-step transition fan-out
 	// (route construction + explicit features) runs on during
 	// inference. <=1 (the default) keeps matching single-threaded.

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/traj"
+)
+
+// CollectDriftBaseline replays a sample of dataset trips through the
+// trained model with the drift monitor collecting, and returns the
+// resulting score-distribution baseline (emission scores, chosen-path
+// transition weights, candidate-set sizes, degraded rates). The
+// serving layer later compares live traffic against it with PSI.
+//
+// Prefers the validation split (matching calibrateGamma: baseline
+// distributions should reflect held-out traffic, not the trips the
+// model memorized), falls back to training trips, and caps the sample
+// at maxTrips (default 16). The monitor's prior enabled state and
+// accumulated sketches are consumed: the monitor is reset before
+// collection and left disabled with the baseline's observations
+// recorded, matching the train-time call site where collection is the
+// monitor's only consumer.
+func (m *Model) CollectDriftBaseline(ds *traj.Dataset, maxTrips int, modelName string) (*obs.DriftBaseline, error) {
+	trips := ds.ValidTrips()
+	if len(trips) == 0 {
+		trips = ds.TrainTrips()
+	}
+	if maxTrips <= 0 {
+		maxTrips = 16
+	}
+	if len(trips) > maxTrips {
+		trips = trips[:maxTrips]
+	}
+	if len(trips) == 0 {
+		return nil, fmt.Errorf("core: no trips available for a drift baseline")
+	}
+	obs.DefaultDrift.Reset()
+	obs.DefaultDrift.Enable()
+	defer obs.DefaultDrift.Disable()
+	matched := 0
+	for _, tr := range trips {
+		if _, err := m.Match(tr.Cell); err == nil {
+			matched++
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("core: drift baseline: none of the %d sampled trips matched", len(trips))
+	}
+	base := obs.DefaultDrift.Baseline(modelName)
+	if len(base.Signals) == 0 {
+		return nil, fmt.Errorf("core: drift baseline: no signals recorded (matcher sketches not registered?)")
+	}
+	obs.Logger().Info("core: drift baseline collected",
+		"trips", len(trips), "matched", matched, "signals", len(base.Signals))
+	return &base, nil
+}

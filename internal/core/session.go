@@ -528,9 +528,12 @@ func (m *Model) MatchContext(ctx context.Context, ct traj.CellTrajectory) (res *
 			OnBreak:   m.Cfg.OnBreak,
 			// Sanitization already ran above (session state must align
 			// with what the matcher sees); do not re-run it inside.
-			Sanitize: traj.SanitizeOff,
-			Trace:    m.Cfg.Trace,
-			Parallel: m.Cfg.Parallel,
+			Sanitize:         traj.SanitizeOff,
+			Trace:            m.Cfg.Trace,
+			Parallel:         m.Cfg.Parallel,
+			Explain:          m.Cfg.Explain,
+			ExplainTopK:      m.Cfg.ExplainTopK,
+			ExplainLowMargin: m.Cfg.ExplainLowMargin,
 		},
 	}
 	res, err = matcher.MatchContext(ctx, ct)

@@ -215,7 +215,7 @@ func (s *streamSession) ensureKeys() {
 		return
 	}
 	d := s.m.Cfg.Dim
-	kv := &nn.Mat{R: s.n, C: d, W: s.embW[:s.n*d : s.n*d]}
+	kv := &nn.Mat{R: s.n, C: d, W: s.embW[: s.n*d : s.n*d]}
 	s.keys = s.m.TransAtt.PrecomputeKeys(kv)
 	s.keysN = s.n
 	s.roadP = make(map[roadnet.SegmentID]float64, len(s.roadP))

@@ -54,6 +54,12 @@ var (
 	obsMatchGaps     = obs.Default.Counter("hmm.match.gaps")
 	obsDeadPoints    = obs.Default.Counter("hmm.match.deadpoints")
 	obsSanitizedPts  = obs.Default.Counter("hmm.match.sanitized")
+
+	// Explainability telemetry: decisions explained and how many were
+	// flagged low-margin (explain.go). Only move when Config.Explain is
+	// set.
+	obsExplainDecisions = obs.Default.Counter("hmm.explain.decisions")
+	obsExplainLowMargin = obs.Default.Counter("hmm.explain.lowmargin")
 )
 
 // Failpoints (internal/faultinject; no-op unless armed) for chaos
@@ -240,6 +246,9 @@ type Result struct {
 	// Trace is the per-trajectory telemetry record, populated only when
 	// Config.Trace is set.
 	Trace *obs.MatchTrace
+	// Explain is the per-decision explanation artifact, populated only
+	// when Config.Explain is set (explain.go).
+	Explain *Explain
 }
 
 // Scoring selects how candidate paths accumulate step scores.
@@ -284,6 +293,17 @@ type Config struct {
 	// (per-point candidate and score stats, break events, stage
 	// wall-clock) at the cost of a few clock reads per stage.
 	Trace bool
+	// Explain assembles a per-decision Explain artifact on the Result:
+	// top-k candidate emission breakdowns, the chosen backpointer with
+	// its step score and route, and winner/runner-up margins. Costs
+	// per-point allocations and one route query per chosen transition;
+	// leave off on hot paths.
+	Explain bool
+	// ExplainTopK bounds the per-point candidate breakdown (default 5).
+	ExplainTopK int
+	// ExplainLowMargin is the margin (nats) below which a decision is
+	// flagged low-confidence (default 0.05).
+	ExplainLowMargin float64
 	// Parallel bounds the worker pool the per-step transition fan-out
 	// runs on when the transition model only supports pairwise Score
 	// (batch models parallelize internally). <=1 keeps the fan-out on
@@ -361,6 +381,10 @@ func (m *Matcher) MatchContext(ctx context.Context, ct traj.CellTrajectory) (*Re
 	}
 	var nCand, nEval, nBlocked int64
 	var deg atomic.Int64 // degraded-mode scoring events this match
+	var es *explainState
+	if m.Cfg.Explain {
+		es = newExplainState(len(ct), m.Cfg.ExplainTopK, m.Cfg.ExplainLowMargin)
+	}
 
 	// Step 1: candidate preparation. Dead points (no candidates) are
 	// fatal under the Error policy and recorded for segmentation under
@@ -381,10 +405,16 @@ func (m *Matcher) MatchContext(ctx context.Context, ct traj.CellTrajectory) (*Re
 		// Degraded mode: a NaN/Inf observation probability would poison
 		// every path through this point; fall back to the classical
 		// Eq. 2 Gaussian of the candidate's distance.
+		if es != nil && len(layer) > 0 {
+			es.fellback[i] = make([]bool, len(layer))
+		}
 		for j := range layer {
 			if o := layer[j].Obs; math.IsNaN(o) || math.IsInf(o, 0) {
 				layer[j].Obs = m.fallbackObs(layer[j].Dist)
 				deg.Add(1)
+				if es != nil {
+					es.fellback[i][j] = true
+				}
 			}
 		}
 		layers[i] = layer
@@ -558,10 +588,14 @@ func (m *Matcher) MatchContext(ctx context.Context, ct traj.CellTrajectory) (*Re
 	res.Score = f[last][idx]
 	noRouteTo := make(map[int]bool)
 	var nSkipped int64
+	driftTransOn := driftTransition.Enabled()
 	for ai := len(alive) - 1; ai >= 0; ai-- {
 		i := alive[ai]
 		res.Matched[i] = layers[i][idx]
 		res.Skipped[i] = layers[i][idx].pseudo
+		if es != nil {
+			es.chosen[i] = idx
+		}
 		if res.Skipped[i] {
 			nSkipped++
 			if trace != nil {
@@ -592,6 +626,12 @@ func (m *Matcher) MatchContext(ctx context.Context, ct traj.CellTrajectory) (*Re
 			idx = argmaxF(p)
 			continue
 		}
+		if driftTransOn && steps[i] != nil && next < len(steps[i]) && idx < len(steps[i][next]) {
+			// Drift signal: the memoized step weight of the chosen
+			// transition. Bounds-checked because shortcut pseudo-
+			// candidates extend the layers but not the step tables.
+			driftTransition.Observe(steps[i][next][idx])
+		}
 		idx = next
 	}
 	// Gaps were appended walking backward; restore trajectory order.
@@ -603,6 +643,16 @@ func (m *Matcher) MatchContext(ctx context.Context, ct traj.CellTrajectory) (*Re
 	done = stage(&st.ExpandS)
 	res.Path = m.expandPath(res.Matched, alive, noRouteTo)
 	done()
+
+	if es != nil {
+		ex, nDecisions, nLowMargin := m.buildExplain(ct, es, layers, keep, f, pre, steps, dead, alive)
+		res.Explain = ex
+		obsExplainDecisions.Add(nDecisions)
+		obsExplainLowMargin.Add(nLowMargin)
+	}
+	if obs.DefaultDrift.Enabled() {
+		feedDrift(keep, deg.Load(), nCand, nEval)
+	}
 
 	res.Degraded = int(deg.Load())
 	obsMatches.Inc()
@@ -782,7 +832,7 @@ func (m *Matcher) fallbackObs(dist float64) float64 {
 // classical Eq. 3 exponential over the route/straight-line distance
 // difference.
 func (m *Matcher) fallbackTrans(ct traj.CellTrajectory, i int, from, to *Candidate) (float64, bool) {
-	route, ok := m.Router.RouteBetween(from.Pos(), to.Pos())
+	dist, ok := m.Router.RouteDist(from.Pos(), to.Pos())
 	if !ok {
 		return 0, false
 	}
@@ -791,7 +841,7 @@ func (m *Matcher) fallbackTrans(ct traj.CellTrajectory, i int, from, to *Candida
 		beta = 500
 	}
 	straight := ct[i-1].P.Dist(ct[i].P)
-	return math.Exp(-math.Abs(straight-route.Dist) / beta), true
+	return math.Exp(-math.Abs(straight-dist) / beta), true
 }
 
 // accum maps a step probability into the additive scoring domain.

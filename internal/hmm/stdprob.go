@@ -55,7 +55,7 @@ type ExponentialTransition struct {
 
 // Score computes Eq. 3. Unreachable movements return ok=false.
 func (e *ExponentialTransition) Score(ct traj.CellTrajectory, i int, from, to *Candidate) (float64, bool) {
-	route, ok := e.Router.RouteBetween(from.Pos(), to.Pos())
+	dist, ok := e.Router.RouteDist(from.Pos(), to.Pos())
 	if !ok {
 		return 0, false
 	}
@@ -64,5 +64,5 @@ func (e *ExponentialTransition) Score(ct traj.CellTrajectory, i int, from, to *C
 		beta = 500
 	}
 	straight := ct[i-1].P.Dist(ct[i].P)
-	return math.Exp(-math.Abs(straight-route.Dist) / beta), true
+	return math.Exp(-math.Abs(straight-dist) / beta), true
 }

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: module version, Go
+// toolchain, and VCS commit. It is exported as the labeled
+// lhmm_build_info gauge on /metrics, embedded in the JSON snapshot,
+// and stamped into lhmm-bench documents so a committed benchmark
+// records what built it.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Commit    string `json:"commit,omitempty"`
+	// Modified marks a build from a dirty working tree.
+	Modified bool `json:"modified,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfo     BuildInfo
+)
+
+// GetBuildInfo reads the binary's embedded build metadata once and
+// caches it. Fields missing from the build (no VCS stamping, test
+// binaries) come back empty rather than erroring.
+func GetBuildInfo() BuildInfo {
+	buildInfoOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev := s.Value
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+				buildInfo.Commit = rev
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

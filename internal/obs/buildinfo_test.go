@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestBuildInfoPopulated(t *testing.T) {
+	bi := GetBuildInfo()
+	if bi.GoVersion == "" {
+		t.Error("GoVersion empty")
+	}
+	if bi.Version == "" {
+		t.Error("Version empty (want at least \"unknown\")")
+	}
+	if len(bi.Commit) > 12 {
+		t.Errorf("Commit %q longer than 12 chars", bi.Commit)
+	}
+	if again := GetBuildInfo(); again != bi {
+		t.Error("GetBuildInfo not stable across calls")
+	}
+}
+
+// The exposition must lead with the labeled lhmm_build_info gauge and
+// still pass the repo's own scrape validator.
+func TestPrometheusBuildInfoLine(t *testing.T) {
+	r := New()
+	r.Enable()
+	r.Counter("x").Add(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "lhmm_build_info{version=") {
+		t.Errorf("no lhmm_build_info series in exposition:\n%s", out)
+	}
+	if !strings.Contains(out, "goversion=") || !strings.Contains(out, "} 1\n") {
+		t.Errorf("lhmm_build_info missing goversion label or constant-1 value:\n%s", out)
+	}
+	if err := ValidatePromText(buf.Bytes()); err != nil {
+		t.Errorf("exposition with build_info fails validation: %v", err)
+	}
+}
+
+func TestSnapshotCarriesBuildInfo(t *testing.T) {
+	r := New()
+	r.Enable()
+	snap := r.Snapshot()
+	if snap.Build.GoVersion != GetBuildInfo().GoVersion {
+		t.Errorf("snapshot build info %+v != %+v", snap.Build, GetBuildInfo())
+	}
+}
+
+// -log-format json must emit one parseable JSON object per line with
+// the standard slog keys.
+func TestSetLogFormatJSON(t *testing.T) {
+	defer func() {
+		SetLogOutput(bytes.NewBuffer(nil)) // restore a text logger
+		SetLogLevel(levelOff)
+	}()
+	var buf bytes.Buffer
+	if err := SetLogFormat(&buf, "json"); err != nil {
+		t.Fatal(err)
+	}
+	SetLogLevel(slog.LevelInfo)
+	Logger().Info("hello", slog.String("k", "v"), slog.Int("n", 7))
+	Logger().Warn("second")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line not JSON: %v (%q)", err, lines[0])
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" || rec["n"] != float64(7) || rec["level"] != "INFO" {
+		t.Errorf("unexpected record %v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("second line not JSON: %v", err)
+	}
+}
+
+func TestSetLogFormatRejectsUnknown(t *testing.T) {
+	if err := SetLogFormat(bytes.NewBuffer(nil), "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

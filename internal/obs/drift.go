@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Score-distribution drift monitoring. The learned emission and
+// transition probabilities are LHMM's value claim; when the serving
+// workload drifts away from the training distribution (a different
+// city, a changed tower layout, degenerate weights) those score
+// distributions shift long before accuracy metrics — which need ground
+// truth — can say so. A DriftMonitor keeps streaming sketches
+// (fixed-bucket histograms plus Welford mean/variance) of the model's
+// decision-relevant signals; `lhmm train` freezes the same sketches
+// over the validation split as a baseline, and the serving layer
+// compares live sketches against it with PSI/KL.
+//
+// Like the Registry, the monitor is no-op by default: every Sketch
+// shares the monitor's atomic enabled flag, so a disabled Observe is
+// one atomic load with zero allocations (pinned by TestDriftDisabledAllocs).
+
+// Standard bucket layouts for drift sketches.
+var (
+	// UnitBuckets covers probability-like scores in [0,1] with 20
+	// linear buckets (the overflow bucket absorbs >0.95).
+	UnitBuckets = []float64{
+		0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50,
+		0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95,
+	}
+	// CountBuckets covers small integer counts (candidate-set sizes).
+	CountBuckets = []float64{1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48}
+)
+
+// Sketch is one signal's streaming distribution summary: fixed-bucket
+// counts (upper-bound inclusive, implicit +Inf overflow) plus Welford
+// online mean/variance and min/max. Safe for concurrent use; a sketch
+// belonging to a disabled monitor ignores observations.
+type Sketch struct {
+	on *atomic.Bool
+
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is +Inf overflow
+	n      int64
+	mean   float64
+	m2     float64 // Welford sum of squared deviations
+	min    float64
+	max    float64
+}
+
+// Enabled reports whether observations are currently recorded (nil-safe).
+func (s *Sketch) Enabled() bool { return s != nil && s.on.Load() }
+
+// Observe records one value. No-op on a nil sketch or a disabled
+// monitor (one atomic load, zero allocations).
+func (s *Sketch) Observe(v float64) {
+	if s == nil || !s.on.Load() {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	s.mu.Lock()
+	i := 0
+	for i < len(s.bounds) && v > s.bounds[i] {
+		i++
+	}
+	s.counts[i]++
+	s.n++
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+	if s.n == 1 || v < s.min {
+		s.min = v
+	}
+	if s.n == 1 || v > s.max {
+		s.max = v
+	}
+	s.mu.Unlock()
+}
+
+// reset zeroes the sketch. Callers hold no lock.
+func (s *Sketch) reset() {
+	s.mu.Lock()
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.n, s.mean, s.m2, s.min, s.max = 0, 0, 0, 0, 0
+	s.mu.Unlock()
+}
+
+// SketchSnapshot is a point-in-time JSON view of one sketch — also the
+// per-signal payload of a persisted DriftBaseline.
+type SketchSnapshot struct {
+	Count    int64     `json:"count"`
+	Mean     float64   `json:"mean"`
+	Variance float64   `json:"variance"`
+	Min      float64   `json:"min"`
+	Max      float64   `json:"max"`
+	Bounds   []float64 `json:"bounds"`
+	Counts   []int64   `json:"counts"` // len(Bounds)+1; last is +Inf
+}
+
+func (s *Sketch) snapshot() SketchSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := SketchSnapshot{
+		Count:  s.n,
+		Mean:   s.mean,
+		Min:    s.min,
+		Max:    s.max,
+		Bounds: append([]float64(nil), s.bounds...),
+		Counts: append([]int64(nil), s.counts...),
+	}
+	if s.n > 1 {
+		snap.Variance = s.m2 / float64(s.n-1)
+	}
+	return snap
+}
+
+// DriftMonitor owns a namespace of drift sketches behind one shared
+// enabled flag. Sketches are interned by name, so package-level handles
+// can be grabbed at init and hammered from any goroutine.
+type DriftMonitor struct {
+	enabled atomic.Bool
+
+	mu       sync.Mutex
+	sketches map[string]*Sketch
+}
+
+// NewDriftMonitor creates a disabled monitor.
+func NewDriftMonitor() *DriftMonitor {
+	return &DriftMonitor{sketches: make(map[string]*Sketch)}
+}
+
+// DefaultDrift is the process-wide drift monitor the matcher reports
+// into. Disabled until a baseline-carrying server (or lhmm train's
+// baseline collection) enables it.
+var DefaultDrift = NewDriftMonitor()
+
+// Enable turns observation recording on.
+func (d *DriftMonitor) Enable() { d.enabled.Store(true) }
+
+// Disable turns observation recording off (sketch contents are kept
+// until Reset).
+func (d *DriftMonitor) Disable() { d.enabled.Store(false) }
+
+// Enabled reports whether the monitor records observations.
+func (d *DriftMonitor) Enabled() bool { return d.enabled.Load() }
+
+// Sketch returns the sketch registered under name, creating it with
+// the given bucket bounds on first use; later calls with different
+// bounds reuse the first registration.
+func (d *DriftMonitor) Sketch(name string, bounds []float64) *Sketch {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.sketches[name]; ok {
+		return s
+	}
+	s := &Sketch{
+		on:     &d.enabled,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+	d.sketches[name] = s
+	return s
+}
+
+// Reset zeroes every registered sketch (handles stay valid).
+func (d *DriftMonitor) Reset() {
+	d.mu.Lock()
+	sketches := make([]*Sketch, 0, len(d.sketches))
+	for _, s := range d.sketches {
+		sketches = append(sketches, s)
+	}
+	d.mu.Unlock()
+	for _, s := range sketches {
+		s.reset()
+	}
+}
+
+// Snapshot captures every registered sketch.
+func (d *DriftMonitor) Snapshot() map[string]SketchSnapshot {
+	d.mu.Lock()
+	names := make([]string, 0, len(d.sketches))
+	for name := range d.sketches {
+		names = append(names, name)
+	}
+	byName := make(map[string]*Sketch, len(d.sketches))
+	for name, s := range d.sketches {
+		byName[name] = s
+	}
+	d.mu.Unlock()
+	out := make(map[string]SketchSnapshot, len(names))
+	for _, name := range names {
+		out[name] = byName[name].snapshot()
+	}
+	return out
+}
+
+// DriftBaselineSchema identifies the persisted baseline format.
+const DriftBaselineSchema = "lhmm-drift-baseline/v1"
+
+// DriftBaseline is the training-time snapshot of the drift signals,
+// written next to the model weights by `lhmm train` and loaded by the
+// serving layer for online comparison.
+type DriftBaseline struct {
+	Schema    string                    `json:"schema"`
+	CreatedAt string                    `json:"created_at,omitempty"`
+	Model     string                    `json:"model,omitempty"`
+	Signals   map[string]SketchSnapshot `json:"signals"`
+}
+
+// Baseline freezes the monitor's current sketches as a baseline
+// document for the given model path.
+func (d *DriftMonitor) Baseline(model string) DriftBaseline {
+	return DriftBaseline{
+		Schema:    DriftBaselineSchema,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Model:     model,
+		Signals:   d.Snapshot(),
+	}
+}
+
+// WriteFile persists the baseline as indented JSON.
+func (b *DriftBaseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal drift baseline: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadDriftBaseline reads and validates a baseline written by
+// WriteFile.
+func LoadDriftBaseline(path string) (*DriftBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b DriftBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("obs: drift baseline %s: %w", path, err)
+	}
+	if b.Schema != DriftBaselineSchema {
+		return nil, fmt.Errorf("obs: drift baseline %s: schema %q (want %q)", path, b.Schema, DriftBaselineSchema)
+	}
+	if len(b.Signals) == 0 {
+		return nil, fmt.Errorf("obs: drift baseline %s: no signals", path)
+	}
+	return &b, nil
+}
+
+// SignalDrift is one signal's baseline-vs-live comparison.
+type SignalDrift struct {
+	// PSI is the Population Stability Index between the baseline and
+	// live bucket distributions (smoothed). Common operating points:
+	// <0.1 stable, 0.1–0.25 moderate shift, >0.25 significant shift.
+	PSI float64 `json:"psi"`
+	// KL is the Kullback-Leibler divergence D(live ‖ baseline) in nats
+	// over the same smoothed buckets.
+	KL            float64 `json:"kl"`
+	BaselineCount int64   `json:"baseline_count"`
+	LiveCount     int64   `json:"live_count"`
+	BaselineMean  float64 `json:"baseline_mean"`
+	LiveMean      float64 `json:"live_mean"`
+}
+
+// DriftComparison is the full baseline-vs-live view: per-signal PSI/KL
+// plus the headline maximum (over signals with live observations).
+type DriftComparison struct {
+	Signals   map[string]SignalDrift `json:"signals"`
+	MaxPSI    float64                `json:"max_psi"`
+	MaxSignal string                 `json:"max_signal,omitempty"`
+}
+
+// Compare computes the drift of the monitor's live sketches against a
+// baseline. Signals missing on either side, or with no live
+// observations yet, report zero drift (no evidence is not evidence of
+// drift).
+func (d *DriftMonitor) Compare(base *DriftBaseline) DriftComparison {
+	return CompareDrift(base.Signals, d.Snapshot())
+}
+
+// CompareDrift computes per-signal PSI/KL between two sketch-snapshot
+// sets keyed by signal name (the baseline's keys drive the
+// comparison).
+func CompareDrift(base, live map[string]SketchSnapshot) DriftComparison {
+	cmp := DriftComparison{Signals: make(map[string]SignalDrift, len(base))}
+	for name, b := range base {
+		l, ok := live[name]
+		sd := SignalDrift{
+			BaselineCount: b.Count,
+			BaselineMean:  b.Mean,
+		}
+		if ok {
+			sd.LiveCount = l.Count
+			sd.LiveMean = l.Mean
+			if b.Count > 0 && l.Count > 0 && len(b.Counts) == len(l.Counts) {
+				sd.PSI, sd.KL = psiKL(b.Counts, l.Counts)
+			}
+		}
+		cmp.Signals[name] = sd
+		if sd.LiveCount > 0 && sd.PSI > cmp.MaxPSI {
+			cmp.MaxPSI, cmp.MaxSignal = sd.PSI, name
+		}
+	}
+	return cmp
+}
+
+// psiKL computes PSI and KL divergence between two bucket-count
+// vectors of equal length. Laplace smoothing (ε=0.5 per bucket) keeps
+// empty buckets from producing infinities:
+//
+//	PSI = Σ (qᵢ-pᵢ)·ln(qᵢ/pᵢ)   KL = Σ qᵢ·ln(qᵢ/pᵢ)
+//
+// with p the baseline and q the live distribution.
+func psiKL(base, live []int64) (psi, kl float64) {
+	const eps = 0.5
+	var nb, nl int64
+	for i := range base {
+		nb += base[i]
+		nl += live[i]
+	}
+	if nb == 0 || nl == 0 {
+		return 0, 0
+	}
+	k := float64(len(base))
+	for i := range base {
+		p := (float64(base[i]) + eps) / (float64(nb) + eps*k)
+		q := (float64(live[i]) + eps) / (float64(nl) + eps*k)
+		lr := math.Log(q / p)
+		psi += (q - p) * lr
+		kl += q * lr
+	}
+	return psi, kl
+}

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSketchWelfordAndBuckets(t *testing.T) {
+	d := NewDriftMonitor()
+	d.Enable()
+	s := d.Sketch("w", []float64{0.25, 0.5, 0.75})
+	vals := []float64{0.1, 0.3, 0.3, 0.6, 0.9, 1.5}
+	for _, v := range vals {
+		s.Observe(v)
+	}
+	snap := d.Snapshot()["w"]
+	if snap.Count != int64(len(vals)) {
+		t.Fatalf("count = %d, want %d", snap.Count, len(vals))
+	}
+	var sum, sq float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	for _, v := range vals {
+		sq += (v - mean) * (v - mean)
+	}
+	variance := sq / float64(len(vals)-1)
+	if math.Abs(snap.Mean-mean) > 1e-12 {
+		t.Errorf("mean = %g, want %g", snap.Mean, mean)
+	}
+	if math.Abs(snap.Variance-variance) > 1e-12 {
+		t.Errorf("variance = %g, want %g", snap.Variance, variance)
+	}
+	if snap.Min != 0.1 || snap.Max != 1.5 {
+		t.Errorf("min/max = %g/%g, want 0.1/1.5", snap.Min, snap.Max)
+	}
+	// Buckets: (-inf,0.25]=1, (0.25,0.5]=2, (0.5,0.75]=1, overflow=2.
+	want := []int64{1, 2, 1, 2}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+}
+
+func TestSketchSkipsNonFinite(t *testing.T) {
+	d := NewDriftMonitor()
+	d.Enable()
+	s := d.Sketch("nf", UnitBuckets)
+	s.Observe(math.NaN())
+	s.Observe(math.Inf(1))
+	s.Observe(math.Inf(-1))
+	s.Observe(0.5)
+	if got := d.Snapshot()["nf"].Count; got != 1 {
+		t.Fatalf("count = %d, want 1 (non-finite values must be skipped)", got)
+	}
+}
+
+func TestDriftDisabledAllocs(t *testing.T) {
+	d := NewDriftMonitor()
+	s := d.Sketch("off", UnitBuckets)
+	s.Observe(0.5)
+	if got := d.Snapshot()["off"].Count; got != 0 {
+		t.Fatalf("disabled sketch recorded %d observations", got)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { s.Observe(0.5) }); allocs != 0 {
+		t.Errorf("disabled Observe allocates %.1f/op, want 0", allocs)
+	}
+	d.Enable()
+	if allocs := testing.AllocsPerRun(1000, func() { s.Observe(0.5) }); allocs != 0 {
+		t.Errorf("enabled Observe allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSketchInterned(t *testing.T) {
+	d := NewDriftMonitor()
+	a := d.Sketch("same", UnitBuckets)
+	b := d.Sketch("same", CountBuckets) // later bounds ignored
+	if a != b {
+		t.Fatal("same name returned different sketches")
+	}
+}
+
+func TestDriftMonitorReset(t *testing.T) {
+	d := NewDriftMonitor()
+	d.Enable()
+	s := d.Sketch("r", UnitBuckets)
+	s.Observe(0.4)
+	d.Reset()
+	if got := d.Snapshot()["r"].Count; got != 0 {
+		t.Fatalf("count after reset = %d, want 0", got)
+	}
+}
+
+// Identical live and baseline distributions must compare to zero drift;
+// a shifted distribution must show strictly positive PSI and KL, and a
+// larger shift must dominate a smaller one.
+func TestPSIShiftMonotone(t *testing.T) {
+	mk := func(shift float64) *DriftMonitor {
+		d := NewDriftMonitor()
+		d.Enable()
+		s := d.Sketch("sig", UnitBuckets)
+		for i := 0; i < 500; i++ {
+			v := float64(i%100)/100 + shift
+			if v > 1 {
+				v = 1
+			}
+			s.Observe(v)
+		}
+		return d
+	}
+	base := mk(0).Baseline("m")
+	same := mk(0).Compare(&base)
+	if same.MaxPSI > 1e-9 {
+		t.Errorf("identical distributions PSI = %g, want ~0", same.MaxPSI)
+	}
+	small := mk(0.1).Compare(&base)
+	big := mk(0.4).Compare(&base)
+	if small.Signals["sig"].PSI <= 0 || big.Signals["sig"].PSI <= 0 {
+		t.Fatalf("shifted PSI not positive: small %g big %g",
+			small.Signals["sig"].PSI, big.Signals["sig"].PSI)
+	}
+	if big.Signals["sig"].PSI <= small.Signals["sig"].PSI {
+		t.Errorf("PSI not monotone in shift: small %g, big %g",
+			small.Signals["sig"].PSI, big.Signals["sig"].PSI)
+	}
+	if small.Signals["sig"].KL <= 0 {
+		t.Errorf("shifted KL = %g, want > 0", small.Signals["sig"].KL)
+	}
+}
+
+// The smoothing must keep PSI finite even when live mass lands entirely
+// in buckets the baseline never saw.
+func TestPSIDisjointSupportFinite(t *testing.T) {
+	d1 := NewDriftMonitor()
+	d1.Enable()
+	s1 := d1.Sketch("sig", UnitBuckets)
+	for i := 0; i < 100; i++ {
+		s1.Observe(0.05)
+	}
+	base := d1.Baseline("m")
+	d2 := NewDriftMonitor()
+	d2.Enable()
+	s2 := d2.Sketch("sig", UnitBuckets)
+	for i := 0; i < 100; i++ {
+		s2.Observe(0.95)
+	}
+	cmp := d2.Compare(&base)
+	psi := cmp.Signals["sig"].PSI
+	if math.IsNaN(psi) || math.IsInf(psi, 0) {
+		t.Fatalf("disjoint-support PSI = %g, want finite", psi)
+	}
+	if psi < 1 {
+		t.Errorf("disjoint-support PSI = %g, want large (> 1)", psi)
+	}
+}
+
+func TestCompareDriftEdgeCases(t *testing.T) {
+	d := NewDriftMonitor()
+	d.Enable()
+	s := d.Sketch("sig", UnitBuckets)
+	for i := 0; i < 50; i++ {
+		s.Observe(0.5)
+	}
+	base := d.Baseline("m")
+
+	// No live observations: the signal reports zero drift and is
+	// excluded from MaxPSI (an idle server has no drift).
+	idle := NewDriftMonitor()
+	idle.Enable()
+	idle.Sketch("sig", UnitBuckets)
+	cmp := idle.Compare(&base)
+	if sd := cmp.Signals["sig"]; sd.PSI != 0 || sd.LiveCount != 0 {
+		t.Errorf("idle signal drift = %+v, want zero", sd)
+	}
+	if cmp.MaxPSI != 0 || cmp.MaxSignal != "" {
+		t.Errorf("idle MaxPSI/MaxSignal = %g/%q, want 0/empty", cmp.MaxPSI, cmp.MaxSignal)
+	}
+
+	// Mismatched bucket layouts cannot be compared; zero drift, not a
+	// panic or a spurious violation.
+	other := NewDriftMonitor()
+	other.Enable()
+	o := other.Sketch("sig", []float64{1, 2, 3})
+	o.Observe(1.5)
+	cmp = other.Compare(&base)
+	if sd := cmp.Signals["sig"]; sd.PSI != 0 {
+		t.Errorf("mismatched-bounds PSI = %g, want 0", sd.PSI)
+	}
+}
+
+func TestDriftBaselineRoundTrip(t *testing.T) {
+	d := NewDriftMonitor()
+	d.Enable()
+	s := d.Sketch("sig", UnitBuckets)
+	for i := 0; i < 20; i++ {
+		s.Observe(float64(i) / 20)
+	}
+	base := d.Baseline("model.json")
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := base.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDriftBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != DriftBaselineSchema || got.Model != "model.json" {
+		t.Errorf("schema/model = %q/%q", got.Schema, got.Model)
+	}
+	if got.Signals["sig"].Count != 20 {
+		t.Errorf("round-tripped count = %d, want 20", got.Signals["sig"].Count)
+	}
+	// Self-comparison through the file is still zero drift.
+	if cmp := d.Compare(got); cmp.MaxPSI > 1e-9 {
+		t.Errorf("self-comparison PSI = %g, want ~0", cmp.MaxPSI)
+	}
+}
+
+func TestLoadDriftBaselineRejectsBadSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	base := DriftBaseline{Schema: "nonsense/v9", Signals: map[string]SketchSnapshot{"x": {}}}
+	if err := base.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDriftBaseline(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("bad schema load error = %v, want schema complaint", err)
+	}
+}
+
+// A drift probe above the threshold must surface as a score_drift
+// violation and flip the monitor, and the report must carry the PSI.
+func TestQualityDriftViolation(t *testing.T) {
+	clk := newQMClock()
+	psi := 0.0
+	var lastViol []string
+	m := NewQualityMonitor(QualityConfig{
+		Window:      10 * time.Second,
+		MinSamples:  1,
+		MaxDriftPSI: 0.25,
+		DriftProbe:  func() float64 { return psi },
+		OnTransition: func(degraded bool, viol []string) {
+			lastViol = append([]string(nil), viol...)
+		},
+		now: clk.now,
+	})
+	m.RecordMatch(time.Millisecond, false, false)
+	if m.Degraded() {
+		t.Fatal("degraded with PSI below threshold")
+	}
+	psi = 0.9
+	m.RecordMatch(time.Millisecond, false, false)
+	if !m.Degraded() {
+		t.Fatal("not degraded with PSI 0.9 vs threshold 0.25")
+	}
+	found := false
+	for _, v := range lastViol {
+		if v == "score_drift" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations = %v, want score_drift", lastViol)
+	}
+	rep := m.Report()
+	if rep.DriftPSI != 0.9 {
+		t.Errorf("report DriftPSI = %g, want 0.9", rep.DriftPSI)
+	}
+	if rep.Thresholds.MaxDriftPSI != 0.25 {
+		t.Errorf("report threshold = %g, want 0.25", rep.Thresholds.MaxDriftPSI)
+	}
+}
+
+// OnTransition must fire exactly once per state change, not once per
+// evaluation while the state persists.
+func TestQualityCallbackOncePerTransition(t *testing.T) {
+	clk := newQMClock()
+	calls := 0
+	m := NewQualityMonitor(QualityConfig{
+		Window:          10 * time.Second,
+		MinSamples:      1,
+		MaxDegradedRate: 0.5,
+		OnTransition:    func(bool, []string) { calls++ },
+		now:             clk.now,
+	})
+	// Drive hard into degraded and stay there across many evaluations.
+	for i := 0; i < 20; i++ {
+		m.RecordMatch(time.Millisecond, true, false)
+	}
+	if !m.Degraded() {
+		t.Fatal("not degraded at 100% degraded rate")
+	}
+	if calls != 1 {
+		t.Fatalf("OnTransition fired %d times entering degraded, want exactly 1", calls)
+	}
+	// Recover (quiet window) and re-degrade: exactly two more firings.
+	clk.advance(11 * time.Second)
+	if m.Degraded() {
+		t.Fatal("still degraded after window expiry")
+	}
+	if calls != 2 {
+		t.Fatalf("OnTransition fired %d times after recovery, want 2", calls)
+	}
+	for i := 0; i < 20; i++ {
+		m.RecordMatch(time.Millisecond, true, false)
+	}
+	if calls != 3 {
+		t.Fatalf("OnTransition fired %d times after re-degrading, want 3", calls)
+	}
+}

@@ -12,6 +12,7 @@ import (
 type Flags struct {
 	Metrics     string  // dump a metrics snapshot: file path, or "-" for stdout
 	LogLevel    string  // debug|info|warn|error|off
+	LogFormat   string  // text|json
 	DebugAddr   string  // serve pprof+expvar+/metrics on this address
 	TraceOut    string  // JSONL span export path ('-' for stderr)
 	TraceSample float64 // probabilistic trace sampling rate in [0,1]
@@ -30,6 +31,7 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	}
 	fs.StringVar(&f.Metrics, "metrics", "", "dump metrics snapshot as JSON to this file on exit ('-' for stderr)")
 	fs.StringVar(&f.LogLevel, "log-level", "", "structured log level: debug|info|warn|error (default off)")
+	fs.StringVar(&f.LogFormat, "log-format", "text", "structured log format: text|json")
 	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve /debug/pprof, /debug/vars and /metrics on this address")
 	fs.StringVar(&f.TraceOut, "trace-out", os.Getenv("LHMM_TRACE_OUT"), "export sampled request spans as JSONL to this file ('-' for stderr; env LHMM_TRACE_OUT)")
 	fs.Float64Var(&f.TraceSample, "trace-sample", f.TraceSample, "trace sampling probability in [0,1] (env LHMM_TRACE_SAMPLE)")
@@ -48,7 +50,9 @@ func (f *Flags) Apply() (func() error, error) {
 			return func() error { return nil }, err
 		}
 		SetLogLevel(level)
-		SetLogOutput(os.Stderr)
+		if err := SetLogFormat(os.Stderr, f.LogFormat); err != nil {
+			return func() error { return nil }, err
+		}
 	}
 
 	var stopServe func() error

@@ -31,9 +31,25 @@ func Logger() *slog.Logger { return logger.Load() }
 // handlers).
 func SetLogger(l *slog.Logger) { logger.Store(l) }
 
-// SetLogOutput routes structured logs to w at the current level.
+// SetLogOutput routes structured logs to w at the current level in the
+// default text format.
 func SetLogOutput(w io.Writer) {
 	logger.Store(slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: &logLevel})))
+}
+
+// SetLogFormat routes structured logs to w in the named format: "text"
+// (slog's logfmt-style key=value handler, the default) or "json" (one
+// JSON object per line, for log pipelines).
+func SetLogFormat(w io.Writer, format string) error {
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "text":
+		SetLogOutput(w)
+	case "json":
+		logger.Store(slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: &logLevel})))
+	default:
+		return fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+	}
+	return nil
 }
 
 // SetLogLevel sets the minimum level emitted by loggers installed via

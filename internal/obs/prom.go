@@ -52,6 +52,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Unlock()
 
 	bw := bufio.NewWriter(w)
+	// lhmm_build_info is the conventional constant-1 info gauge: the
+	// build metadata rides in labels so dashboards can join any series
+	// against the binary that produced it. It is the one labeled series
+	// in the exposition (registry instruments are label-free).
+	bi := GetBuildInfo()
+	fmt.Fprintf(bw, "# HELP lhmm_build_info Build metadata of the running binary (constant 1).\n")
+	fmt.Fprintf(bw, "# TYPE lhmm_build_info gauge\n")
+	fmt.Fprintf(bw, "lhmm_build_info{version=%q,goversion=%q,commit=%q} 1\n",
+		bi.Version, bi.GoVersion, bi.Commit)
 	for _, name := range sortedKeys(counters) {
 		wire := promName(name) + "_total"
 		fmt.Fprintf(bw, "# HELP %s Counter %q.\n", wire, name)

@@ -38,6 +38,39 @@ func TestBucketQuantileEmpty(t *testing.T) {
 	}
 }
 
+// A one-bound layout still interpolates inside its single finite
+// bucket rather than degenerating to 0 or the bound.
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	r := New()
+	r.Enable()
+	h := r.Histogram("q.single.seconds", []float64{2})
+	for i := 0; i < 10; i++ {
+		h.Observe(1)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("single-bucket p50 = %g, want 1 (midpoint of [0,2])", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Errorf("single-bucket p100 = %g, want bucket edge 2", got)
+	}
+}
+
+// Observations entirely above the last finite bound land in the +Inf
+// overflow bucket; every quantile clamps to the last finite bound.
+func TestHistogramQuantileAllOverflow(t *testing.T) {
+	r := New()
+	r.Enable()
+	h := r.Histogram("q.over.seconds", []float64{0.1, 1})
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 1 {
+			t.Errorf("all-overflow q=%g: got %g, want clamp to 1", q, got)
+		}
+	}
+}
+
 func TestHistogramQuantile(t *testing.T) {
 	r := New()
 	r.Enable()

@@ -264,6 +264,7 @@ var FineLatencyBuckets = []float64{
 
 // Snapshot is a point-in-time JSON-marshalable view of a registry.
 type Snapshot struct {
+	Build      BuildInfo                    `json:"build"`
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
@@ -293,6 +294,7 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
+		Build:      GetBuildInfo(),
 		Counters:   make(map[string]int64),
 		Gauges:     make(map[string]int64),
 		Histograms: make(map[string]HistogramSnapshot),

@@ -171,6 +171,29 @@ func (r *Router) RouteBetween(a, b PointOnRoad) (Route, bool) {
 	return Route{Dist: head + d + tail, Segs: segs}, true
 }
 
+// RouteDist returns only the length of the route from a to b — the
+// same distance RouteBetween reports, without materializing the
+// segment list. Transition models that score on distance alone use it
+// to keep per-step scoring allocation-free on the warm cache path.
+func (r *Router) RouteDist(a, b PointOnRoad) (float64, bool) {
+	obsRoutes.Inc()
+	segA, segB := r.net.Segment(a.Seg), r.net.Segment(b.Seg)
+	if a.Seg == b.Seg && b.Frac >= a.Frac {
+		return (b.Frac - a.Frac) * segA.Length, true
+	}
+	head := (1 - a.Frac) * segA.Length
+	tail := b.Frac * segB.Length
+	if segA.To == segB.From {
+		return head + tail, true
+	}
+	d, ok := r.NodeDist(segA.To, segB.From)
+	if !ok {
+		obsRouteMisses.Inc()
+		return 0, false
+	}
+	return head + d + tail, true
+}
+
 // Geometry returns the polyline of a route's traversed segments,
 // trimmed to the start and end positions.
 func (r *Router) Geometry(route Route, a, b PointOnRoad) geo.Polyline {

@@ -314,3 +314,41 @@ func TestRouterCacheCounters(t *testing.T) {
 		t.Errorf("evictions delta = %d, want >= 2", got)
 	}
 }
+
+// RouteDist must agree exactly with RouteBetween's Dist on every pair
+// shape — same segment, adjacent, multi-hop, unreachable — and stay
+// allocation-free once the shortest-path tree is cached.
+func TestRouteDistMatchesRouteBetween(t *testing.T) {
+	n := buildGrid(t, 5, 5)
+	r := NewRouter(n)
+	s01 := segBetween(t, n, 0, 1)
+	s12 := segBetween(t, n, 1, 2)
+	far := segBetween(t, n, NodeID(23), NodeID(24))
+	pairs := [][2]PointOnRoad{
+		{{s01, 0.2}, {s01, 0.7}}, // forward same segment
+		{{s01, 0.7}, {s01, 0.2}}, // backward same segment (loops)
+		{{s01, 0.5}, {s12, 0.5}}, // adjacent
+		{{s01, 0.5}, {far, 0.5}}, // multi-hop
+	}
+	for _, p := range pairs {
+		route, okR := r.RouteBetween(p[0], p[1])
+		dist, okD := r.RouteDist(p[0], p[1])
+		if okR != okD || math.Abs(route.Dist-dist) > 1e-12 {
+			t.Errorf("RouteDist(%v,%v) = %g/%v, RouteBetween says %g/%v",
+				p[0], p[1], dist, okD, route.Dist, okR)
+		}
+	}
+}
+
+func TestRouteDistNoAllocs(t *testing.T) {
+	n := buildGrid(t, 5, 5)
+	r := NewRouter(n)
+	a := PointOnRoad{segBetween(t, n, 0, 1), 0.5}
+	b := PointOnRoad{segBetween(t, n, NodeID(23), NodeID(24)), 0.5}
+	if _, ok := r.RouteDist(a, b); !ok { // warm the tree cache
+		t.Fatal("unreachable")
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { r.RouteDist(a, b) }); allocs != 0 {
+		t.Errorf("warm RouteDist allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -116,6 +116,17 @@ type DebugMatchResponse struct {
 	Trace *obs.MatchTrace `json:"trace,omitempty"`
 }
 
+// ExplainMatchResponse is the body of POST /v1/match?explain=1 (and of
+// lhmm match -json -explain): the normal response plus the
+// per-decision Explain artifact, and the trace too when both flags are
+// set. Like DebugMatchResponse, the extra blocks are strictly appended
+// after the embedded MatchResponse fields.
+type ExplainMatchResponse struct {
+	MatchResponse
+	Trace   *obs.MatchTrace `json:"trace,omitempty"`
+	Explain *hmm.Explain    `json:"explain,omitempty"`
+}
+
 // ResultJSON converts a match result to the wire form.
 func ResultJSON(res *hmm.Result) MatchResponse {
 	out := MatchResponse{

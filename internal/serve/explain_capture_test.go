@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/hmm"
+	"repro/internal/obs"
+)
+
+func getJSON(t testing.TB, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// A ?explain=1 response must extend the plain response byte-for-byte:
+// the explain block is strictly appended, so consumers of the plain
+// schema can parse either.
+func TestExplainEndpointBytePrefix(t *testing.T) {
+	ds, m := fixture(t)
+	_, ts := testServer(t, m, Config{})
+	req := PointsRequest(ds.TestTrips()[0].Cell)
+
+	resp, plain := postJSON(t, ts.URL+"/v1/match", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain match: %d: %s", resp.StatusCode, plain)
+	}
+	resp, explained := postJSON(t, ts.URL+"/v1/match?explain=1", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain match: %d: %s", resp.StatusCode, explained)
+	}
+	// plain ends with "}\n"; the explain body continues from the "}".
+	prefix := plain[:len(plain)-2]
+	if !bytes.HasPrefix(explained, prefix) {
+		t.Fatalf("explain response does not extend the plain bytes:\nplain:   %.120s\nexplain: %.120s",
+			plain, explained)
+	}
+
+	var er ExplainMatchResponse
+	if err := json.Unmarshal(explained, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Explain == nil {
+		t.Fatal("no explain block in ?explain=1 response")
+	}
+	if len(er.Explain.Points) != len(req.Points) {
+		t.Fatalf("%d explain points for %d input points", len(er.Explain.Points), len(req.Points))
+	}
+	for i, pt := range er.Explain.Points {
+		if !pt.Dead && (pt.Chosen == nil || len(pt.Candidates) == 0) {
+			t.Fatalf("point %d explained without choice/candidates", i)
+		}
+	}
+
+	// The per-request explain flag must not leak into the shared model:
+	// a following plain request still answers the plain bytes.
+	resp, again := postJSON(t, ts.URL+"/v1/match", req)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(again, plain) {
+		t.Fatalf("plain response changed after an explain request (%d)", resp.StatusCode)
+	}
+}
+
+// Captures record plain matches only, with the digest taken over the
+// exact response bytes, and replay's reader round-trips them.
+func TestCaptureRoundTrip(t *testing.T) {
+	ds, m := fixture(t)
+	var buf bytes.Buffer
+	_, ts := testServer(t, m, Config{Capture: NewCapture(&buf, 1)})
+	req := PointsRequest(ds.TestTrips()[0].Cell)
+
+	resp, plain := postJSON(t, ts.URL+"/v1/match", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match: %d: %s", resp.StatusCode, plain)
+	}
+	// Explain/debug requests are outside the reproducibility contract
+	// and must not be captured.
+	if resp, body := postJSON(t, ts.URL+"/v1/match?explain=1", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain match: %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/match?debug=1", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug match: %d: %s", resp.StatusCode, body)
+	}
+
+	recs, err := ReadCaptures(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("%d capture records, want 1 (plain only)", len(recs))
+	}
+	rec := recs[0]
+	if rec.Schema != CaptureSchema {
+		t.Errorf("schema %q", rec.Schema)
+	}
+	sum := sha256.Sum256(plain)
+	if rec.Response.SHA256 != hex.EncodeToString(sum[:]) {
+		t.Errorf("capture digest %s does not match response bytes", rec.Response.SHA256)
+	}
+	if rec.Response.Bytes != len(plain) {
+		t.Errorf("capture size %d, response was %d bytes", rec.Response.Bytes, len(plain))
+	}
+	if len(rec.Request.Points) != len(req.Points) {
+		t.Errorf("capture request has %d points, sent %d", len(rec.Request.Points), len(req.Points))
+	}
+	if rec.Config.K != m.Cfg.K || rec.Config.OnBreak != m.Cfg.OnBreak.String() {
+		t.Errorf("capture config %+v does not pin the effective model config", rec.Config)
+	}
+}
+
+// Sampling is deterministic: rate 0.5 captures exactly every other
+// eligible request, so capture files reproduce under load.
+func TestCaptureSampling(t *testing.T) {
+	_, m := fixture(t)
+	var buf bytes.Buffer
+	c := NewCapture(&buf, 0.5)
+	req := &MatchRequest{Points: []Point{{Tower: 0, T: 1}}}
+	res := &hmm.Result{}
+	for i := 0; i < 10; i++ {
+		c.Record(req, m, res, []byte("{}\n"))
+	}
+	recs, err := ReadCaptures(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("rate 0.5 captured %d of 10, want 5", len(recs))
+	}
+	if recs[0].ID != "c00000002" || recs[4].ID != "c00000010" {
+		t.Errorf("sampled IDs %s..%s, want the even sequence", recs[0].ID, recs[4].ID)
+	}
+
+	if zero := NewCapture(&bytes.Buffer{}, 0); zero != nil {
+		zero.Record(req, m, res, []byte("{}\n")) // must be a no-op, not a panic
+	}
+}
+
+func TestDriftEndpointDisabled(t *testing.T) {
+	_, m := fixture(t)
+	_, ts := testServer(t, m, Config{})
+	resp, body := getJSON(t, ts.URL+"/v1/drift")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/drift: %d", resp.StatusCode)
+	}
+	var dr DriftResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Status != "disabled" {
+		t.Fatalf("status %q without a baseline, want disabled", dr.Status)
+	}
+}
+
+// Serving a workload that does not look like the baseline must surface
+// as per-signal PSI on /v1/drift and trip the QualityMonitor's
+// score_drift violation.
+func TestDriftShiftTripsViolation(t *testing.T) {
+	ds, m := fixture(t)
+	// A crafted baseline claiming every learned emission score was near
+	// 1.0 — nothing an untrained model serves will look like it.
+	counts := make([]int64, len(obs.UnitBuckets)+1)
+	counts[len(counts)-1] = 1000
+	base := &obs.DriftBaseline{
+		Schema: obs.DriftBaselineSchema,
+		Model:  "crafted",
+		Signals: map[string]obs.SketchSnapshot{
+			"emission": {
+				Count:  1000,
+				Mean:   0.99,
+				Bounds: append([]float64(nil), obs.UnitBuckets...),
+				Counts: counts,
+			},
+		},
+	}
+	_, ts := testServer(t, m, Config{
+		DriftBaseline:     base,
+		DriftBaselinePath: "crafted.json",
+		Quality:           obs.QualityConfig{MinSamples: 1, MaxDriftPSI: 0.25},
+	})
+
+	resp, body := postJSON(t, ts.URL+"/v1/match", PointsRequest(ds.TestTrips()[0].Cell))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match: %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = getJSON(t, ts.URL+"/v1/drift")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/drift: %d", resp.StatusCode)
+	}
+	var dr DriftResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Status != "drift" {
+		t.Fatalf("drift status %q, want drift: %s", dr.Status, body)
+	}
+	if dr.MaxSignal != "emission" || dr.Signals["emission"].PSI <= 0.25 {
+		t.Fatalf("emission PSI %g (max signal %q), want > threshold 0.25",
+			dr.Signals["emission"].PSI, dr.MaxSignal)
+	}
+	if dr.BaselineModel != "crafted" || dr.Threshold != 0.25 {
+		t.Errorf("baseline provenance %q/%g not echoed", dr.BaselineModel, dr.Threshold)
+	}
+
+	resp, body = getJSON(t, ts.URL+"/v1/quality")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/quality: %d", resp.StatusCode)
+	}
+	var qr obs.QualityReport
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Status != "degraded" {
+		t.Fatalf("quality status %q under drifted scores, want degraded: %s", qr.Status, body)
+	}
+	found := false
+	for _, v := range qr.Violations {
+		if v == "score_drift" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations %v, want score_drift", qr.Violations)
+	}
+	if qr.DriftPSI <= 0.25 {
+		t.Errorf("report drift PSI %g, want > 0.25", qr.DriftPSI)
+	}
+
+	// The scrape mirrors the comparison into lhmm_drift_* gauges.
+	_, scrape := getJSON(t, ts.URL+"/metrics")
+	prom := string(scrape)
+	if !strings.Contains(prom, "lhmm_drift_emission_psi_milli") ||
+		!strings.Contains(prom, "lhmm_drift_max_psi_milli") {
+		t.Errorf("drift gauges missing from scrape")
+	}
+}
+
+// syncBuf is a goroutine-safe buffer for capturing access logs (the
+// handler logs after the response is flushed to the client).
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// With -log-format json, every access log line must parse as one JSON
+// object carrying the request fields.
+func TestAccessLogJSONParses(t *testing.T) {
+	_, m := fixture(t)
+	_, ts := testServer(t, m, Config{})
+
+	var logs syncBuf
+	if err := obs.SetLogFormat(&logs, "json"); err != nil {
+		t.Fatal(err)
+	}
+	obs.SetLogLevel(slog.LevelInfo)
+	defer func() {
+		off, _ := obs.ParseLevel("off")
+		obs.SetLogLevel(off)
+		obs.SetLogFormat(&bytes.Buffer{}, "text") //nolint:errcheck // known-good format
+	}()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitFor(t, func() bool { return strings.Contains(logs.String(), "/healthz") })
+
+	for _, line := range strings.Split(strings.TrimSpace(logs.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("access log line is not JSON: %v (%q)", err, line)
+		}
+		if rec["msg"] != "request" {
+			continue
+		}
+		rid, ok := rec["request_id"].(string)
+		if rec["path"] != "/healthz" || rec["status"] != float64(200) || !ok || rid == "" {
+			t.Errorf("unexpected access log record: %v", rec)
+		}
+	}
+}

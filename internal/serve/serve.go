@@ -19,6 +19,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -42,6 +43,7 @@ var (
 	obsMatches    = obs.Default.Counter("serve.matches")
 	obsMatchErrs  = obs.Default.Counter("serve.match.errors")
 	obsQualityDeg = obs.Default.Gauge("serve.quality.degraded")
+	obsLowMargin  = obs.Default.Counter("serve.match.lowmargin")
 )
 
 // Config parameterizes a Server. Zero values get sane defaults.
@@ -65,8 +67,18 @@ type Config struct {
 	MaxBodyBytes int64
 	// Quality configures the online SLO monitor behind GET /v1/quality
 	// and the /readyz quality detail. Zero thresholds disable their
-	// checks; window/slot zero values take the obs defaults.
+	// checks; window/slot zero values take the obs defaults. With
+	// MaxDriftPSI > 0 and a DriftBaseline, a score_drift violation is
+	// wired automatically.
 	Quality obs.QualityConfig
+	// DriftBaseline, when set, enables live score-distribution
+	// collection and the GET /v1/drift comparison against it.
+	DriftBaseline *obs.DriftBaseline
+	// DriftBaselinePath is the provenance reported by /v1/drift.
+	DriftBaselinePath string
+	// Capture, when set, records sampled plain match requests and
+	// response digests for lhmm replay.
+	Capture *Capture
 }
 
 func (c *Config) withDefaults() Config {
@@ -142,6 +154,13 @@ func New(reg *Registry, cfg Config) *Server {
 			userCB(degraded, violations)
 		}
 	}
+	if c.DriftBaseline != nil {
+		obs.DefaultDrift.Enable()
+		if qcfg.MaxDriftPSI > 0 && qcfg.DriftProbe == nil {
+			p := &driftProbe{base: c.DriftBaseline}
+			qcfg.DriftProbe = p.value
+		}
+	}
 	s.qm = obs.NewQualityMonitor(qcfg)
 	s.sess.Start()
 	s.mux = http.NewServeMux()
@@ -152,6 +171,7 @@ func New(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStatus)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /v1/quality", s.handleQuality)
+	s.mux.HandleFunc("GET /v1/drift", s.handleDrift)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -311,15 +331,24 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// ?debug=1 collects the per-request MatchTrace on a private model
-	// copy (Cfg is a value; the shared model must never see the flag).
+	// ?debug=1 collects the per-request MatchTrace, ?explain=1 the
+	// per-decision Explain artifact — both on a private model copy (Cfg
+	// is a value; the shared model must never see the flags).
 	debug := r.URL.Query().Get("debug") == "1"
+	explain := r.URL.Query().Get("explain") == "1"
 	if debug && !mm.Cfg.Trace {
 		if mm == m {
 			cp := *m
 			mm = &cp
 		}
 		mm.Cfg.Trace = true
+	}
+	if explain && !mm.Cfg.Explain {
+		if mm == m {
+			cp := *m
+			mm = &cp
+		}
+		mm.Cfg.Explain = true
 	}
 	asp := obs.SpanFromContext(r.Context()).StartChild("admission")
 	release, err := s.adm.acquire(r.Context())
@@ -358,14 +387,36 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	obsMatches.Inc()
 	s.qm.RecordMatch(time.Since(matchStart), res.Degraded > 0, len(res.Gaps) > 0)
-	if debug {
-		writeJSON(w, http.StatusOK, DebugMatchResponse{
+	if res.Explain != nil && res.Explain.LowMarginDecisions > 0 {
+		obsLowMargin.Add(int64(res.Explain.LowMarginDecisions))
+	}
+	switch {
+	case debug || explain:
+		// Debug/explain blocks are strictly appended after the embedded
+		// MatchResponse, so the leading bytes stay identical to a plain
+		// response. These requests are never captured (their bodies are
+		// not the reproducibility contract).
+		writeJSON(w, http.StatusOK, ExplainMatchResponse{
 			MatchResponse: ResultJSON(res),
 			Trace:         res.Trace,
+			Explain:       res.Explain,
 		})
-		return
+	case s.cfg.Capture != nil:
+		// Capture path: encode to a buffer so the digest is over the
+		// exact bytes the client received (Encoder output to a buffer
+		// and to the wire is identical).
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(ResultJSON(res)); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing to do
+		s.cfg.Capture.Record(&req, mm, res, buf.Bytes())
+	default:
+		writeJSON(w, http.StatusOK, ResultJSON(res))
 	}
-	writeJSON(w, http.StatusOK, ResultJSON(res))
 }
 
 // recordMatchFailure feeds a failed matching request into the quality
@@ -547,6 +598,11 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.DriftBaseline != nil {
+		// Refresh the lhmm_drift_* gauges so every scrape carries the
+		// current comparison, not the last /v1/drift poll's.
+		s.compareDrift()
+	}
 	obs.PromHandler(w, r)
 }
 

@@ -84,6 +84,13 @@ type (
 	MatchResult = hmm.Result
 	// Candidate is one candidate road for one trajectory point.
 	Candidate = hmm.Candidate
+	// Explain is the per-decision explanation artifact attached to a
+	// MatchResult when Config.Explain is set: top-k candidate emission
+	// breakdowns, chosen backpointers with step scores and routes, and
+	// winner/runner-up margins.
+	Explain = hmm.Explain
+	// ExplainPoint explains the decision at one trajectory point.
+	ExplainPoint = hmm.ExplainPoint
 )
 
 // Fault-tolerance types. A matcher configured with OnBreak and
