@@ -1,0 +1,222 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	lhmm "repro"
+	"repro/internal/obs"
+	"repro/internal/roadnet"
+)
+
+// The -fullscale workload exercises the paper-scale regime the tables
+// never reach: a metro road network around 100k segments (scale 1),
+// where flat per-query Dijkstra is the bottleneck the CH backend
+// exists to remove. It measures three things on one generated city:
+//
+//  1. CH preprocessing cost (build wall-clock, shortcut ratio);
+//  2. routed-transition throughput — k x k RouteDist fan-outs shaped
+//     exactly like the matcher's Viterbi transition step — on a
+//     CH-backed router vs the flat Dijkstra router, over identical
+//     candidate pairs (results are cross-checked bitwise);
+//  3. end-to-end match latency (hmm.match.seconds p50/p95/p99) running
+//     the classical matcher over held-out test trips with the CH
+//     router.
+//
+// The committed BENCH_fullscale.json in the repo root is a run of
+// `lhmm-bench -fullscale -scale 1 -json`.
+
+// fullscaleResult is the "fullscale" section of the -json document.
+type fullscaleResult struct {
+	Nodes    int `json:"nodes"`
+	Segments int `json:"segments"`
+	Towers   int `json:"towers"`
+	// Dataset generation (network + trips + cell sampling).
+	GenS float64 `json:"gen_s"`
+	// Contraction-Hierarchies preprocessing.
+	CHBuildS        float64 `json:"ch_build_s"`
+	CHShortcuts     int     `json:"ch_shortcuts"`
+	CHShortcutRatio float64 `json:"ch_shortcut_ratio"`
+	// Routed-transition throughput, matcher-shaped k x k fan-outs.
+	TransitionK          int     `json:"transition_k"`
+	CHTransitionPairs    int     `json:"ch_transition_pairs"`
+	CHUsPerPair          float64 `json:"ch_us_per_pair"`
+	FlatTransitionPairs  int     `json:"flat_transition_pairs"`
+	FlatUsPerPair        float64 `json:"flat_us_per_pair"`
+	TransitionSpeedup    float64 `json:"transition_speedup"`
+	TransitionMismatches int     `json:"transition_mismatches"`
+	// End-to-end matching with the CH-backed router.
+	MatchedTrips int     `json:"matched_trips"`
+	MatchWallS   float64 `json:"match_wall_s"`
+}
+
+// fullscaleK is the candidate-pool size per trajectory point, matching
+// the k the CLI matcher uses at full scale.
+const fullscaleK = 45
+
+// transitionStep is one Viterbi-shaped unit of routing work: the
+// candidate pools of two consecutive trajectory points.
+type transitionStep struct {
+	from, to []roadnet.PointOnRoad
+}
+
+// runFullscale executes the paper-scale workload and returns the
+// result section plus a human-readable rendering.
+func runFullscale(scale float64, trips, parallel int) (*fullscaleResult, string, error) {
+	fs := &fullscaleResult{TransitionK: fullscaleK}
+	var b strings.Builder
+
+	start := time.Now()
+	ds, err := lhmm.GenerateDataset(lhmm.SyntheticMetro(scale, trips))
+	if err != nil {
+		return nil, "", fmt.Errorf("generate metro dataset: %w", err)
+	}
+	fs.GenS = time.Since(start).Seconds()
+	fs.Nodes = ds.Net.NumNodes()
+	fs.Segments = ds.Net.NumSegments()
+	fs.Towers = ds.Cells.NumTowers()
+	fmt.Fprintf(&b, "metro scale %g: %d nodes, %d segments, %d towers, %d trips (gen %.1fs)\n",
+		scale, fs.Nodes, fs.Segments, fs.Towers, len(ds.Trips), fs.GenS)
+
+	start = time.Now()
+	h := roadnet.BuildHierarchy(ds.Net)
+	fs.CHBuildS = time.Since(start).Seconds()
+	fs.CHShortcuts = h.NumShortcuts()
+	fs.CHShortcutRatio = 1 + float64(fs.CHShortcuts)/float64(fs.Segments)
+	fmt.Fprintf(&b, "CH preprocessing: %.1fs, %d shortcuts (%.2fx edges)\n",
+		fs.CHBuildS, fs.CHShortcuts, fs.CHShortcutRatio)
+
+	chRouter := lhmm.NewRouter(ds.Net, roadnet.WithHierarchy(h))
+	flatRouter := lhmm.NewRouter(ds.Net)
+
+	// Harvest matcher-shaped transition steps from held-out test trips:
+	// the candidate pools of consecutive cell points, exactly what the
+	// Viterbi transition scorer fans out over.
+	const chSteps, flatSteps = 24, 4
+	steps := harvestTransitionSteps(ds, chSteps)
+	if len(steps) < flatSteps {
+		return nil, "", fmt.Errorf("only %d transition steps harvested; dataset too small for -fullscale (raise -scale or -trips)", len(steps))
+	}
+
+	chDist := make([][]float64, 0, flatSteps)
+	start = time.Now()
+	for si, st := range steps {
+		var rec []float64
+		if si < flatSteps {
+			rec = make([]float64, 0, len(st.from)*len(st.to))
+		}
+		for _, a := range st.from {
+			for _, bp := range st.to {
+				d, ok := chRouter.RouteDist(a, bp)
+				fs.CHTransitionPairs++
+				if si < flatSteps {
+					if !ok {
+						d = -1
+					}
+					rec = append(rec, d)
+				}
+			}
+		}
+		if si < flatSteps {
+			chDist = append(chDist, rec)
+		}
+	}
+	chWall := time.Since(start)
+	fs.CHUsPerPair = chWall.Seconds() * 1e6 / float64(fs.CHTransitionPairs)
+	fmt.Fprintf(&b, "CH transitions: %d routed pairs in %.2fs (%.1f us/pair)\n",
+		fs.CHTransitionPairs, chWall.Seconds(), fs.CHUsPerPair)
+
+	// Flat Dijkstra over a prefix of the same steps — identical pairs,
+	// so per-pair costs compare like for like, and distances must agree
+	// bitwise with the CH answers (the byte-identity contract).
+	start = time.Now()
+	for si := 0; si < flatSteps; si++ {
+		st := steps[si]
+		i := 0
+		for _, a := range st.from {
+			for _, bp := range st.to {
+				d, ok := flatRouter.RouteDist(a, bp)
+				if !ok {
+					d = -1
+				}
+				if d != chDist[si][i] {
+					fs.TransitionMismatches++
+				}
+				i++
+				fs.FlatTransitionPairs++
+			}
+		}
+	}
+	flatWall := time.Since(start)
+	fs.FlatUsPerPair = flatWall.Seconds() * 1e6 / float64(fs.FlatTransitionPairs)
+	if fs.CHUsPerPair > 0 {
+		fs.TransitionSpeedup = fs.FlatUsPerPair / fs.CHUsPerPair
+	}
+	fmt.Fprintf(&b, "flat transitions: %d routed pairs in %.2fs (%.1f us/pair)\n",
+		fs.FlatTransitionPairs, flatWall.Seconds(), fs.FlatUsPerPair)
+	fmt.Fprintf(&b, "routed-transition speedup: %.1fx (CH vs flat)\n", fs.TransitionSpeedup)
+	if fs.TransitionMismatches > 0 {
+		return fs, b.String(), fmt.Errorf("CH/flat disagreement on %d of %d cross-checked transition pairs",
+			fs.TransitionMismatches, fs.FlatTransitionPairs)
+	}
+
+	// End-to-end matching with the CH router. The match-latency
+	// quantiles land in hmm.match.seconds and surface in the JSON doc.
+	matcher := lhmm.ClassicalMatcher(ds.Net, chRouter, fullscaleK, 450, 500)
+	const maxMatch = 25
+	start = time.Now()
+	for _, ti := range ds.Test {
+		if fs.MatchedTrips >= maxMatch {
+			break
+		}
+		trip := &ds.Trips[ti]
+		if len(trip.Cell) < 2 {
+			continue
+		}
+		if _, err := matcher.Match(trip.Cell); err != nil {
+			return fs, b.String(), fmt.Errorf("match trip %d: %w", trip.ID, err)
+		}
+		fs.MatchedTrips++
+	}
+	fs.MatchWallS = time.Since(start).Seconds()
+	snap := obs.Default.Snapshot()
+	m := snap.Histograms["hmm.match.seconds"]
+	fmt.Fprintf(&b, "matched %d test trips in %.1fs (p50 %.3fs, p95 %.3fs, p99 %.3fs)\n",
+		fs.MatchedTrips, fs.MatchWallS, m.P50, m.P95, m.P99)
+	_ = parallel // matching stays sequential; transition timing must not overlap
+
+	return fs, b.String(), nil
+}
+
+// harvestTransitionSteps extracts up to n consecutive-point candidate
+// pools from the test trips, skipping degenerate pools so every step
+// does real k x k routing work.
+func harvestTransitionSteps(ds *lhmm.Dataset, n int) []transitionStep {
+	var steps []transitionStep
+	pool := func(p lhmm.CellPoint) []roadnet.PointOnRoad {
+		segs := ds.Net.SegmentsNear(p.P, fullscaleK)
+		out := make([]roadnet.PointOnRoad, 0, len(segs))
+		for _, s := range segs {
+			_, frac := ds.Net.Project(s, p.P)
+			out = append(out, roadnet.PointOnRoad{Seg: s, Frac: frac})
+		}
+		return out
+	}
+	for _, ti := range ds.Test {
+		trip := &ds.Trips[ti]
+		// Spread steps across trips: a few interior transitions each.
+		for i := 1; i+1 < len(trip.Cell) && len(steps) < n; i += 4 {
+			from := pool(trip.Cell[i])
+			to := pool(trip.Cell[i+1])
+			if len(from) < fullscaleK/2 || len(to) < fullscaleK/2 {
+				continue
+			}
+			steps = append(steps, transitionStep{from: from, to: to})
+		}
+		if len(steps) >= n {
+			break
+		}
+	}
+	return steps
+}

@@ -22,6 +22,16 @@
 // drifted. -parallel N fans each Viterbi step's transition batch out
 // over N workers; matched output is identical for any value.
 //
+// -fullscale replaces the table/figure experiments with the
+// paper-scale workload: generate the metro city at -scale (~100k
+// segments at scale 1), build the Contraction Hierarchy, measure
+// routed-transition throughput on CH-backed vs flat routers over
+// identical matcher-shaped candidate pairs (cross-checked bitwise),
+// and run the classical matcher over held-out trips for end-to-end
+// match-latency quantiles. BENCH_fullscale.json is a committed run:
+//
+//	lhmm-bench -fullscale -scale 1 -trips 80 -json -out BENCH_fullscale.json
+//
 // Observability: -metrics dumps the telemetry snapshot on exit,
 // -log-level enables structured logs on stderr, and -debug-addr serves
 // /debug/pprof, /debug/vars, and /metrics while the bench runs.
@@ -66,6 +76,9 @@ type output struct {
 	MatchP50S float64 `json:"match_p50_s"`
 	MatchP95S float64 `json:"match_p95_s"`
 	MatchP99S float64 `json:"match_p99_s"`
+	// Fullscale carries the paper-scale workload section when the run
+	// was -fullscale (additive; absent on table/figure runs).
+	Fullscale *fullscaleResult `json:"fullscale,omitempty"`
 	// Obs is the full telemetry snapshot of the run.
 	Obs obs.Snapshot `json:"obs"`
 }
@@ -85,6 +98,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON document instead of text")
 	compare := flag.String("compare", "", "baseline lhmm-bench JSON file to diff this run against (exits nonzero on counter-schema drift)")
 	parallel := flag.Int("parallel", 0, "transition fan-out workers per match (<=1 keeps matching sequential; matched output is identical)")
+	fullscale := flag.Bool("fullscale", false, "run the paper-scale metro workload (CH vs flat routed-transition throughput, match latency) instead of -exp")
 	of := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -108,9 +122,11 @@ func main() {
 		}
 	}()
 
-	if *asJSON || *compare != "" {
-		// JSON and compare runs measure from a clean telemetry slate so
-		// committed BENCH_*.json files diff as true per-run deltas.
+	if *asJSON || *compare != "" || *fullscale {
+		// JSON, compare, and fullscale runs measure from a clean
+		// telemetry slate so committed BENCH_*.json files diff as true
+		// per-run deltas (fullscale also reads the match-latency
+		// histogram for its text report).
 		obs.Default.Enable()
 		obs.Default.Reset()
 	}
@@ -130,37 +146,56 @@ func main() {
 		}
 	}
 
-	hzCfg := lhmm.DefaultSuite("hangzhou", *scale, *trips)
-	xmCfg := lhmm.DefaultSuite("xiamen", *scale, *trips)
-	hzCfg.LHMM.Parallel = *parallel
-	xmCfg.LHMM.Parallel = *parallel
-	hz := lhmm.NewSuite(hzCfg)
-	xm := lhmm.NewSuite(xmCfg)
-
-	ids := []string{*exp}
-	if *exp == "all" {
-		ids = eval.ExperimentNames
-	}
 	runStart := time.Now()
 	var results []experiment
-	for _, id := range ids {
+	var fsRes *fullscaleResult
+	if *fullscale {
 		start := time.Now()
-		text, err := lhmm.RunExperiment(id, hz, xm)
+		fs, text, err := runFullscale(*scale, *trips, *parallel)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "lhmm-bench: %s: %v\n", id, err)
+			fmt.Fprintf(os.Stderr, "lhmm-bench: fullscale: %v\n", err)
 			os.Exit(1)
 		}
 		wall := time.Since(start).Seconds()
-		results = append(results, experiment{ID: id, WallS: wall, Text: text})
-		obs.Logger().Info("lhmm-bench: experiment done", "id", id, "wall_s", wall)
+		fsRes = fs
+		results = append(results, experiment{ID: "fullscale", WallS: wall, Text: text})
+		obs.Logger().Info("lhmm-bench: fullscale done", "wall_s", wall)
 		if !*asJSON {
-			fmt.Fprintf(w, "== %s (%.1fs) ==\n%s\n", id, wall, text)
+			fmt.Fprintf(w, "== fullscale (%.1fs) ==\n%s\n", wall, text)
 		} else {
-			fmt.Fprintf(os.Stderr, "lhmm-bench: %s done in %.1fs\n", id, wall)
+			fmt.Fprintf(os.Stderr, "lhmm-bench: fullscale done in %.1fs\n%s", wall, text)
 		}
-		if id == "fig11" && !*asJSON {
-			if err := writeFig11Artifacts(hz); err != nil {
-				fmt.Fprintf(os.Stderr, "lhmm-bench: fig11 artifacts: %v\n", err)
+	} else {
+		hzCfg := lhmm.DefaultSuite("hangzhou", *scale, *trips)
+		xmCfg := lhmm.DefaultSuite("xiamen", *scale, *trips)
+		hzCfg.LHMM.Parallel = *parallel
+		xmCfg.LHMM.Parallel = *parallel
+		hz := lhmm.NewSuite(hzCfg)
+		xm := lhmm.NewSuite(xmCfg)
+
+		ids := []string{*exp}
+		if *exp == "all" {
+			ids = eval.ExperimentNames
+		}
+		for _, id := range ids {
+			start := time.Now()
+			text, err := lhmm.RunExperiment(id, hz, xm)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lhmm-bench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			wall := time.Since(start).Seconds()
+			results = append(results, experiment{ID: id, WallS: wall, Text: text})
+			obs.Logger().Info("lhmm-bench: experiment done", "id", id, "wall_s", wall)
+			if !*asJSON {
+				fmt.Fprintf(w, "== %s (%.1fs) ==\n%s\n", id, wall, text)
+			} else {
+				fmt.Fprintf(os.Stderr, "lhmm-bench: %s done in %.1fs\n", id, wall)
+			}
+			if id == "fig11" && !*asJSON {
+				if err := writeFig11Artifacts(hz); err != nil {
+					fmt.Fprintf(os.Stderr, "lhmm-bench: fig11 artifacts: %v\n", err)
+				}
 			}
 		}
 	}
@@ -168,6 +203,7 @@ func main() {
 	var doc *output
 	if *asJSON || *compare != "" {
 		doc = buildDoc(results, *scale, *trips, time.Since(runStart).Seconds())
+		doc.Fullscale = fsRes
 	}
 	if *asJSON {
 		enc := json.NewEncoder(w)

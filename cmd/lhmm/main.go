@@ -60,6 +60,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "net":
+		err = cmdNet(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -79,6 +81,9 @@ commands:
   match     match one test trajectory and report metrics
   eval      evaluate methods on the test split
   replay    re-run requests from an lhmm-serve capture file and diff outputs
+  net       road-network tools: 'net build' compiles a dataset's network
+            (plus Contraction-Hierarchies index) into a binary .lnet file;
+            'net stat' inspects one
 
 observability flags (every command):
   -metrics FILE     dump telemetry counters/histograms as JSON on exit ('-' for stderr)
@@ -113,7 +118,7 @@ func parseWithObs(fs *flag.FlagSet, args []string) (func(), error) {
 
 func cmdDatagen(args []string) error {
 	fs := flag.NewFlagSet("datagen", flag.ExitOnError)
-	preset := fs.String("preset", "hangzhou", "dataset preset: hangzhou or xiamen")
+	preset := fs.String("preset", "hangzhou", "dataset preset: hangzhou, xiamen, or metro (~100k-segment network at scale 1)")
 	scale := fs.Float64("scale", 0.05, "city scale in (0, 1]")
 	trips := fs.Int("trips", 200, "number of trips to simulate")
 	seed := fs.Int64("seed", 0, "override the preset RNG seed (0 keeps it)")
@@ -129,6 +134,8 @@ func cmdDatagen(args []string) error {
 		cfg = lhmm.SyntheticXiamen(*scale, *trips)
 	case "hangzhou":
 		cfg = lhmm.SyntheticHangzhou(*scale, *trips)
+	case "metro":
+		cfg = lhmm.SyntheticMetro(*scale, *trips)
 	default:
 		return fmt.Errorf("unknown preset %q", *preset)
 	}

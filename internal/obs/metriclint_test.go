@@ -13,15 +13,17 @@ import (
 )
 
 // metricName is the registry naming convention: dotted lowercase
-// snake.case segments. Every such name maps to a valid Prometheus
+// snake.case segments (underscores allowed inside a segment, as in
+// "router.cache.hit_rate"). Every such name maps to a valid Prometheus
 // metric name under the lhmm_ prefix, so enforcing it here keeps the
 // /metrics exposition well-formed by construction.
-var metricName = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z][a-z0-9]*)*$`)
+var metricName = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
 
 func TestMetricNamesLint(t *testing.T) {
 	names := obs.Default.CounterNames()
 	names = append(names, obs.Default.GaugeNames()...)
 	names = append(names, obs.Default.HistogramNames()...)
+	names = append(names, obs.Default.DerivedNames()...)
 	if len(names) < 10 {
 		t.Fatalf("only %d instruments registered; expected the full stack (is serve still linked?)", len(names))
 	}

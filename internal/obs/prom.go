@@ -49,6 +49,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name, h := range r.histograms {
 		histograms[name] = h
 	}
+	deriveds := make(map[string]func() float64, len(r.deriveds))
+	for name, fn := range r.deriveds {
+		deriveds[name] = fn
+	}
 	r.mu.Unlock()
 
 	bw := bufio.NewWriter(w)
@@ -72,6 +76,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(bw, "# HELP %s Gauge %q.\n", wire, name)
 		fmt.Fprintf(bw, "# TYPE %s gauge\n", wire)
 		fmt.Fprintf(bw, "%s %d\n", wire, gauges[name].Value())
+	}
+	for _, name := range sortedKeys(deriveds) {
+		wire := promName(name)
+		fmt.Fprintf(bw, "# HELP %s Derived gauge %q (computed at scrape time).\n", wire, name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", wire)
+		fmt.Fprintf(bw, "%s %s\n", wire, promFloat(deriveds[name]()))
 	}
 	for _, name := range sortedKeys(histograms) {
 		h := histograms[name]

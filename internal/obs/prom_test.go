@@ -105,3 +105,41 @@ func TestPromScrapeFile(t *testing.T) {
 		t.Fatalf("scrape %s has no lhmm_ series", path)
 	}
 }
+
+// Derived gauges compute at scrape time from other instruments — the
+// hit-rate pattern — and must round-trip the exposition validator.
+func TestWritePrometheusDerived(t *testing.T) {
+	r := New()
+	r.Enable()
+	hits := r.Counter("test.cache.hits")
+	misses := r.Counter("test.cache.misses")
+	r.Derived("test.cache.hit_rate", func() float64 {
+		h, m := float64(hits.Value()), float64(misses.Value())
+		if h+m == 0 {
+			return 0
+		}
+		return h / (h + m)
+	})
+	hits.Add(3)
+	misses.Add(1)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE lhmm_test_cache_hit_rate gauge\n",
+		"lhmm_test_cache_hit_rate 0.75\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q in:\n%s", want, text)
+		}
+	}
+	if err := ValidatePromText(buf.Bytes()); err != nil {
+		t.Errorf("scrape with derived gauge fails validation: %v", err)
+	}
+	if snap := r.Snapshot(); snap.Derived["test.cache.hit_rate"] != 0.75 {
+		t.Errorf("snapshot derived = %v, want 0.75", snap.Derived["test.cache.hit_rate"])
+	}
+}

@@ -33,6 +33,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	deriveds   map[string]func() float64
 }
 
 // New creates a disabled registry.
@@ -41,6 +42,7 @@ func New() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		deriveds:   make(map[string]func() float64),
 	}
 }
 
@@ -102,6 +104,17 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	}
 	r.histograms[name] = h
 	return h
+}
+
+// Derived registers a gauge whose value is computed at read time from
+// other instruments — ratios like a cache hit rate that would drift if
+// maintained incrementally. The function must be safe for concurrent
+// use and cheap; it runs on every Snapshot and Prometheus scrape.
+// Re-registering a name replaces the function.
+func (r *Registry) Derived(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deriveds[name] = fn
 }
 
 // Reset zeroes every registered instrument (handles stay valid), so a
@@ -267,6 +280,7 @@ type Snapshot struct {
 	Build      BuildInfo                    `json:"build"`
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Derived    map[string]float64           `json:"derived,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
@@ -297,7 +311,11 @@ func (r *Registry) Snapshot() Snapshot {
 		Build:      GetBuildInfo(),
 		Counters:   make(map[string]int64),
 		Gauges:     make(map[string]int64),
+		Derived:    make(map[string]float64),
 		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for name, fn := range r.deriveds {
+		s.Derived[name] = fn()
 	}
 	for name, c := range r.counters {
 		if v := c.Value(); v != 0 {
@@ -346,6 +364,19 @@ func (r *Registry) GaugeNames() []string {
 	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.gauges))
 	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DerivedNames returns the sorted names of all registered derived
+// gauges.
+func (r *Registry) DerivedNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.deriveds))
+	for name := range r.deriveds {
 		names = append(names, name)
 	}
 	sort.Strings(names)

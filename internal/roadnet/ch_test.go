@@ -1,0 +1,209 @@
+package roadnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// buildJittered builds a w×h lattice with ~100 m spacing, per-node
+// coordinate jitter, and random two-way street removal — small-scale
+// stand-in for the synth cities. Deterministic for a given seed.
+func buildJittered(t testing.TB, w, h int, dropProb float64, seed int64) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var b Builder
+	for j := 0; j < h; j++ {
+		for i := 0; i < w; i++ {
+			b.AddNode(geo.Pt(
+				float64(i)*100+rng.Float64()*40-20,
+				float64(j)*100+rng.Float64()*40-20,
+			))
+		}
+	}
+	id := func(i, j int) NodeID { return NodeID(j*w + i) }
+	added := 0
+	for j := 0; j < h; j++ {
+		for i := 0; i < w; i++ {
+			if i+1 < w && rng.Float64() >= dropProb {
+				if _, _, err := b.AddTwoWay(id(i, j), id(i+1, j), Local); err != nil {
+					t.Fatal(err)
+				}
+				added++
+			}
+			if j+1 < h && rng.Float64() >= dropProb {
+				if _, _, err := b.AddTwoWay(id(i, j), id(i, j+1), Local); err != nil {
+					t.Fatal(err)
+				}
+				added++
+			}
+		}
+	}
+	if added == 0 {
+		t.Fatal("jittered network dropped every street; pick another seed")
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// assertSamePair fails unless the CH-backed and flat routers agree
+// byte-for-byte on one node pair: same reachability, bitwise-equal
+// distance, identical segment sequence.
+func assertSamePair(t *testing.T, flat, ch *Router, a, b NodeID) {
+	t.Helper()
+	d1, ok1 := flat.NodeDist(a, b)
+	d2, ok2 := ch.NodeDist(a, b)
+	if ok1 != ok2 {
+		t.Fatalf("reachability mismatch %d->%d: flat %v, ch %v", a, b, ok1, ok2)
+	}
+	if !ok1 {
+		return
+	}
+	if d1 != d2 {
+		t.Fatalf("dist mismatch %d->%d: flat %v, ch %v", a, b, d1, d2)
+	}
+	p1, pd1, _ := flat.NodePath(a, b)
+	p2, pd2, _ := ch.NodePath(a, b)
+	if pd1 != pd2 {
+		t.Fatalf("path dist mismatch %d->%d: flat %v, ch %v", a, b, pd1, pd2)
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("path length mismatch %d->%d: flat %v, ch %v", a, b, p1, p2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("path mismatch %d->%d at hop %d: flat %v, ch %v", a, b, i, p1, p2)
+		}
+	}
+}
+
+// The lattice is the adversarial case for path identity: nearly every
+// pair has many exactly-equal-length shortest paths, so CH and Dijkstra
+// only agree because both order paths by the canonical (dist, tie) key.
+func TestCHMatchesDijkstraAllPairsLattice(t *testing.T) {
+	n := buildGrid(t, 6, 5)
+	flat := NewRouter(n)
+	ch := NewRouter(n, WithHierarchy(BuildHierarchy(n)))
+	for a := 0; a < n.NumNodes(); a++ {
+		for b := 0; b < n.NumNodes(); b++ {
+			assertSamePair(t, flat, ch, NodeID(a), NodeID(b))
+		}
+	}
+}
+
+func TestCHMatchesDijkstraAllPairsJittered(t *testing.T) {
+	// Includes disconnected pockets: both routers must agree those are
+	// unreachable too.
+	n := buildJittered(t, 8, 8, 0.25, 7)
+	flat := NewRouter(n)
+	ch := NewRouter(n, WithHierarchy(BuildHierarchy(n)))
+	for a := 0; a < n.NumNodes(); a++ {
+		for b := 0; b < n.NumNodes(); b++ {
+			assertSamePair(t, flat, ch, NodeID(a), NodeID(b))
+		}
+	}
+}
+
+func TestCHMatchesDijkstraRandomPairsLarge(t *testing.T) {
+	n := buildJittered(t, 20, 20, 0.15, 11)
+	flat := NewRouter(n)
+	ch := NewRouter(n, WithHierarchy(BuildHierarchy(n)))
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 2000; trial++ {
+		a := NodeID(rng.Intn(n.NumNodes()))
+		b := NodeID(rng.Intn(n.NumNodes()))
+		assertSamePair(t, flat, ch, a, b)
+	}
+}
+
+// With a tight MaxDist the CH search must reproduce the flat router's
+// reachability cutoff exactly, including paths that land on the bound.
+func TestCHMaxDistBound(t *testing.T) {
+	n := buildGrid(t, 7, 7)
+	for _, maxDist := range []float64{100, 250, 300, 800} {
+		flat := NewRouter(n, WithMaxDist(maxDist))
+		ch := NewRouter(n, WithMaxDist(maxDist), WithHierarchy(BuildHierarchy(n)))
+		for a := 0; a < n.NumNodes(); a++ {
+			for b := 0; b < n.NumNodes(); b++ {
+				assertSamePair(t, flat, ch, NodeID(a), NodeID(b))
+			}
+		}
+	}
+}
+
+func TestCHRouteBetweenAndRouteDist(t *testing.T) {
+	n := buildJittered(t, 10, 10, 0.2, 3)
+	flat := NewRouter(n)
+	ch := NewRouter(n, WithHierarchy(BuildHierarchy(n)))
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 1500; trial++ {
+		a := PointOnRoad{Seg: SegmentID(rng.Intn(n.NumSegments())), Frac: rng.Float64()}
+		b := PointOnRoad{Seg: SegmentID(rng.Intn(n.NumSegments())), Frac: rng.Float64()}
+		r1, ok1 := flat.RouteBetween(a, b)
+		r2, ok2 := ch.RouteBetween(a, b)
+		if ok1 != ok2 {
+			t.Fatalf("RouteBetween(%v,%v) reachability: flat %v, ch %v", a, b, ok1, ok2)
+		}
+		if ok1 {
+			if r1.Dist != r2.Dist {
+				t.Fatalf("RouteBetween(%v,%v) dist: flat %v, ch %v", a, b, r1.Dist, r2.Dist)
+			}
+			if len(r1.Segs) != len(r2.Segs) {
+				t.Fatalf("RouteBetween(%v,%v) segs: flat %v, ch %v", a, b, r1.Segs, r2.Segs)
+			}
+			for i := range r1.Segs {
+				if r1.Segs[i] != r2.Segs[i] {
+					t.Fatalf("RouteBetween(%v,%v) segs: flat %v, ch %v", a, b, r1.Segs, r2.Segs)
+				}
+			}
+		}
+		d1, dok1 := flat.RouteDist(a, b)
+		d2, dok2 := ch.RouteDist(a, b)
+		if dok1 != dok2 || (dok1 && (d1 != d2 || d1 != r1.Dist)) {
+			t.Fatalf("RouteDist(%v,%v): flat %v/%v, ch %v/%v, route %v", a, b, d1, dok1, d2, dok2, r1.Dist)
+		}
+	}
+}
+
+// A hierarchy rebuilt from its serialized parts (ranks + shortcut
+// records) must answer queries identically to the original.
+func TestCHFromPartsMatchesBuild(t *testing.T) {
+	n := buildJittered(t, 9, 9, 0.2, 13)
+	h := BuildHierarchy(n)
+	h2, err := hierarchyFromParts(n, h.Rank(), h.Shortcuts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRouter(n, WithHierarchy(h))
+	r2 := NewRouter(n, WithHierarchy(h2))
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 500; trial++ {
+		a := NodeID(rng.Intn(n.NumNodes()))
+		b := NodeID(rng.Intn(n.NumNodes()))
+		assertSamePair(t, r1, r2, a, b)
+	}
+}
+
+func TestCHFromPartsRejectsCorruptParts(t *testing.T) {
+	n := buildGrid(t, 4, 4)
+	h := BuildHierarchy(n)
+	if _, err := hierarchyFromParts(n, h.Rank()[:1], h.Shortcuts()); err == nil {
+		t.Error("short rank slice accepted")
+	}
+	if sc := h.Shortcuts(); len(sc) > 0 {
+		bad := append([]shortcutRecord(nil), sc...)
+		bad[0].A = int32(len(h.edges)) + 99
+		if _, err := hierarchyFromParts(n, h.Rank(), bad); err == nil {
+			t.Error("out-of-range child index accepted")
+		}
+		bad = append([]shortcutRecord(nil), sc...)
+		bad[0].From++
+		if _, err := hierarchyFromParts(n, h.Rank(), bad); err == nil {
+			t.Error("non-chaining shortcut accepted")
+		}
+	}
+}

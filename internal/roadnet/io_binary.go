@@ -1,0 +1,282 @@
+package roadnet
+
+// Versioned binary network format ("LNET"). The JSON format in io.go
+// stays the interchange format; this one exists so a ~100k-segment
+// city loads in milliseconds: flat little-endian slabs that decode
+// into the Network's CSR representation with no per-segment parsing,
+// plus an optional Contraction-Hierarchies section (node ranks and
+// shortcut child indices — keys and base edges are rederived from the
+// network on load, which cross-validates the section against the
+// graph it ships with).
+//
+// Layout (all little-endian, CRC-32/IEEE of everything before it at
+// the tail):
+//
+//	magic "LNET" | u32 version=1 | u32 flags (bit0 = CH section)
+//	u64 nodes | u64 segments | u64 viaPoints
+//	nodes    × (f64 x, f64 y)
+//	segments × (u32 from, u32 to, u8 class, f64 speed)
+//	(segments+1) × u32 cumulative via-point offsets
+//	viaPoints × (f64 x, f64 y)   — interior shape points only
+//	[CH] nodes × u32 rank | u64 shortcuts | shortcuts × (u32 from, u32 to, u32 a, u32 b)
+//	u32 crc
+//
+// Segment lengths are recomputed from the decoded shapes with the same
+// left-to-right fold Builder uses, so a loaded network is bit-identical
+// to one built from the same inputs.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/geo"
+)
+
+const (
+	lnetMagic     = "LNET"
+	lnetVersion   = 1
+	lnetFlagCH    = 1 << 0
+	lnetKnownFlag = lnetFlagCH
+)
+
+type binWriter struct{ buf []byte }
+
+func (w *binWriter) u8(v uint8)    { w.buf = append(w.buf, v) }
+func (w *binWriter) u32(v uint32)  { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *binWriter) u64(v uint64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *binWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+type binReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *binReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("roadnet: truncated binary network (need %d bytes at offset %d of %d)", n, r.off, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *binReader) u8() uint8 {
+	if b := r.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (r *binReader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *binReader) u64() uint64 {
+	if b := r.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (r *binReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// WriteBinary serializes the network — and, when h is non-nil, its
+// Contraction Hierarchy — in the LNET binary format.
+func WriteBinary(w io.Writer, n *Network, h *Hierarchy) error {
+	if h != nil && h.net != n {
+		return fmt.Errorf("roadnet: hierarchy was built over a different network")
+	}
+	var bw binWriter
+	via := 0
+	for i := 0; i < n.NumSegments(); i++ {
+		via += len(n.Segment(SegmentID(i)).Shape) - 2
+	}
+	est := 64 + n.NumNodes()*16 + n.NumSegments()*21 + via*16
+	bw.buf = make([]byte, 0, est)
+
+	bw.buf = append(bw.buf, lnetMagic...)
+	bw.u32(lnetVersion)
+	flags := uint32(0)
+	if h != nil {
+		flags |= lnetFlagCH
+	}
+	bw.u32(flags)
+	bw.u64(uint64(n.NumNodes()))
+	bw.u64(uint64(n.NumSegments()))
+	bw.u64(uint64(via))
+
+	for i := 0; i < n.NumNodes(); i++ {
+		p := n.Node(NodeID(i)).P
+		bw.f64(p.X)
+		bw.f64(p.Y)
+	}
+	for i := 0; i < n.NumSegments(); i++ {
+		s := n.Segment(SegmentID(i))
+		bw.u32(uint32(s.From))
+		bw.u32(uint32(s.To))
+		bw.u8(uint8(s.Class))
+		bw.f64(s.Speed)
+	}
+	off := uint32(0)
+	bw.u32(off)
+	for i := 0; i < n.NumSegments(); i++ {
+		off += uint32(len(n.Segment(SegmentID(i)).Shape) - 2)
+		bw.u32(off)
+	}
+	for i := 0; i < n.NumSegments(); i++ {
+		shape := n.Segment(SegmentID(i)).Shape
+		for _, p := range shape[1 : len(shape)-1] {
+			bw.f64(p.X)
+			bw.f64(p.Y)
+		}
+	}
+	if h != nil {
+		for _, r := range h.rank {
+			bw.u32(uint32(r))
+		}
+		sc := h.Shortcuts()
+		bw.u64(uint64(len(sc)))
+		for _, r := range sc {
+			bw.u32(uint32(r.From))
+			bw.u32(uint32(r.To))
+			bw.u32(uint32(r.A))
+			bw.u32(uint32(r.B))
+		}
+	}
+	bw.u32(crc32.ChecksumIEEE(bw.buf))
+	if _, err := w.Write(bw.buf); err != nil {
+		return fmt.Errorf("roadnet: write binary: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary deserializes a network written by WriteBinary. The
+// returned Hierarchy is nil when the file has no CH section.
+func ReadBinary(rd io.Reader) (*Network, *Hierarchy, error) {
+	buf, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, nil, fmt.Errorf("roadnet: read binary: %w", err)
+	}
+	if len(buf) < len(lnetMagic)+12+4 || string(buf[:4]) != lnetMagic {
+		return nil, nil, fmt.Errorf("roadnet: not an LNET binary network")
+	}
+	payload, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, nil, fmt.Errorf("roadnet: binary network checksum mismatch (file %08x, computed %08x)", want, got)
+	}
+	r := &binReader{buf: payload, off: 4}
+	if v := r.u32(); v != lnetVersion {
+		return nil, nil, fmt.Errorf("roadnet: unsupported binary network version %d", v)
+	}
+	flags := r.u32()
+	if flags&^uint32(lnetKnownFlag) != 0 {
+		return nil, nil, fmt.Errorf("roadnet: unknown binary network flags %#x", flags)
+	}
+	nNodes, nSegs, nVia := r.u64(), r.u64(), r.u64()
+	const sane = 1 << 31
+	if nNodes == 0 || nSegs == 0 || nNodes > sane || nSegs > sane || nVia > sane {
+		return nil, nil, fmt.Errorf("roadnet: implausible binary network header (%d nodes, %d segments, %d via points)", nNodes, nSegs, nVia)
+	}
+
+	nodes := make([]Node, nNodes)
+	for i := range nodes {
+		nodes[i] = Node{ID: NodeID(i), P: geo.Pt(r.f64(), r.f64())}
+	}
+	segments := make([]Segment, nSegs)
+	for i := range segments {
+		from, to := NodeID(r.u32()), NodeID(r.u32())
+		class := Class(r.u8())
+		speed := r.f64()
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		if int(from) >= len(nodes) || int(to) >= len(nodes) {
+			return nil, nil, fmt.Errorf("roadnet: segment %d references node out of range", i)
+		}
+		if class > Highway {
+			return nil, nil, fmt.Errorf("roadnet: segment %d has unknown class %d", i, class)
+		}
+		segments[i] = Segment{ID: SegmentID(i), From: from, To: to, Class: class, Speed: speed}
+	}
+	viaOff := make([]uint32, nSegs+1)
+	for i := range viaOff {
+		viaOff[i] = r.u32()
+	}
+	if r.err == nil && uint64(viaOff[nSegs]) != nVia {
+		return nil, nil, fmt.Errorf("roadnet: via offsets end at %d, header says %d", viaOff[nSegs], nVia)
+	}
+	viaPts := make([]geo.Point, nVia)
+	for i := range viaPts {
+		viaPts[i] = geo.Pt(r.f64(), r.f64())
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	for i := range segments {
+		s := &segments[i]
+		a, b := viaOff[i], viaOff[i+1]
+		if b < a {
+			return nil, nil, fmt.Errorf("roadnet: segment %d has decreasing via offsets", i)
+		}
+		shape := make(geo.Polyline, 0, int(b-a)+2)
+		shape = append(shape, nodes[s.From].P)
+		shape = append(shape, viaPts[a:b]...)
+		shape = append(shape, nodes[s.To].P)
+		s.Shape = shape
+		s.Length = shape.Length()
+	}
+
+	net := assemble(nodes, segments)
+
+	var h *Hierarchy
+	if flags&lnetFlagCH != 0 {
+		rank := make([]int32, nNodes)
+		seen := make([]bool, nNodes)
+		for i := range rank {
+			v := r.u32()
+			if r.err == nil && (uint64(v) >= nNodes || seen[v]) {
+				return nil, nil, fmt.Errorf("roadnet: node ranks are not a permutation")
+			}
+			if r.err == nil {
+				seen[v] = true
+			}
+			rank[i] = int32(v)
+		}
+		nSC := r.u64()
+		if nSC > sane {
+			return nil, nil, fmt.Errorf("roadnet: implausible shortcut count %d", nSC)
+		}
+		shortcuts := make([]shortcutRecord, nSC)
+		for i := range shortcuts {
+			shortcuts[i] = shortcutRecord{
+				From: NodeID(r.u32()), To: NodeID(r.u32()),
+				A: int32(r.u32()), B: int32(r.u32()),
+			}
+		}
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		h, err = hierarchyFromParts(net, rank, shortcuts)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, nil, fmt.Errorf("roadnet: %d trailing bytes in binary network", len(payload)-r.off)
+	}
+	return net, h, nil
+}

@@ -89,13 +89,27 @@ func (s *Segment) PointAt(frac float64) geo.Point {
 
 // Network is an immutable road network. Build one with a Builder. All
 // methods are safe for concurrent use once built.
+//
+// Adjacency is stored CSR-style: one offsets array per direction plus a
+// packed array of segment ids, so a 100k-segment city costs two int32
+// arrays and two id arrays instead of 2·N small heap slices. Segment
+// geometry is likewise packed into a single point slab; each Segment's
+// Shape is a capacity-bounded view into it. Per-node adjacency lists
+// are ascending by segment id, matching the insertion order the
+// pointer-based representation produced.
 type Network struct {
 	nodes    []Node
 	segments []Segment
-	out      [][]SegmentID // node -> outgoing segment ids
-	in       [][]SegmentID // node -> incoming segment ids
-	index    *spatial.Grid // over segment geometry
-	bounds   geo.Rect
+
+	outOff  []int32     // len NumNodes+1; out ids of node v are outSegs[outOff[v]:outOff[v+1]]
+	outSegs []SegmentID // packed outgoing segment ids, grouped by From node
+	inOff   []int32     // len NumNodes+1; in ids of node v are inSegs[inOff[v]:inOff[v+1]]
+	inSegs  []SegmentID // packed incoming segment ids, grouped by To node
+
+	shapeSlab []geo.Point // all segment polylines, contiguous
+
+	index  *spatial.Grid // over segment geometry
+	bounds geo.Rect
 }
 
 // NumNodes returns the number of nodes.
@@ -111,23 +125,27 @@ func (n *Network) Node(id NodeID) *Node { return &n.nodes[id] }
 func (n *Network) Segment(id SegmentID) *Segment { return &n.segments[id] }
 
 // Out returns the ids of segments leaving the node. The returned slice
-// must not be modified.
-func (n *Network) Out(id NodeID) []SegmentID { return n.out[id] }
+// is a view into shared storage and must not be modified.
+func (n *Network) Out(id NodeID) []SegmentID {
+	return n.outSegs[n.outOff[id]:n.outOff[id+1]]
+}
 
 // In returns the ids of segments entering the node. The returned slice
-// must not be modified.
-func (n *Network) In(id NodeID) []SegmentID { return n.in[id] }
+// is a view into shared storage and must not be modified.
+func (n *Network) In(id NodeID) []SegmentID {
+	return n.inSegs[n.inOff[id]:n.inOff[id+1]]
+}
 
 // Next returns the ids of segments that can follow s on a path (those
 // leaving s's To node). The returned slice must not be modified.
 func (n *Network) Next(s SegmentID) []SegmentID {
-	return n.out[n.segments[s].To]
+	return n.Out(n.segments[s].To)
 }
 
 // Prev returns the ids of segments that can precede s on a path.
 // The returned slice must not be modified.
 func (n *Network) Prev(s SegmentID) []SegmentID {
-	return n.in[n.segments[s].From]
+	return n.In(n.segments[s].From)
 }
 
 // Bounds returns the bounding rectangle of all node positions.
@@ -249,39 +267,80 @@ func (b *Builder) AddTwoWay(a, c NodeID, class Class, via ...geo.Point) (Segment
 	return fwd, bwd, nil
 }
 
-// Build finalizes the network: it computes adjacency, bounds, and the
-// spatial index. An empty builder yields an error since a usable network
-// needs at least one segment.
+// Build finalizes the network: it computes CSR adjacency, packs segment
+// geometry into a contiguous slab, and builds the spatial index. An
+// empty builder yields an error since a usable network needs at least
+// one segment.
 func (b *Builder) Build() (*Network, error) {
 	if len(b.segments) == 0 {
 		return nil, fmt.Errorf("roadnet: cannot build a network with no segments")
 	}
-	n := &Network{
-		nodes:    b.nodes,
-		segments: b.segments,
-		out:      make([][]SegmentID, len(b.nodes)),
-		in:       make([][]SegmentID, len(b.nodes)),
-	}
-	bounds := geo.Rect{Min: b.nodes[0].P, Max: b.nodes[0].P}
-	for _, nd := range b.nodes {
+	return assemble(b.nodes, b.segments), nil
+}
+
+// assemble constructs the immutable flat representation from node and
+// segment slices (at least one segment; callers validate). It is shared
+// by Builder.Build and the binary loader. Segment shapes are repacked
+// into one slab; the input shape slices are not retained.
+func assemble(nodes []Node, segments []Segment) *Network {
+	n := &Network{nodes: nodes, segments: segments}
+
+	bounds := geo.Rect{Min: nodes[0].P, Max: nodes[0].P}
+	for _, nd := range nodes {
 		bounds = bounds.Extend(nd.P)
 	}
 	n.bounds = bounds
 
-	for i := range n.segments {
-		s := &n.segments[i]
-		n.out[s.From] = append(n.out[s.From], s.ID)
-		n.in[s.To] = append(n.in[s.To], s.ID)
+	// Pack all polylines into one slab. Each Shape becomes a
+	// capacity-bounded view so an accidental append cannot clobber the
+	// next segment's geometry.
+	total := 0
+	for i := range segments {
+		total += len(segments[i].Shape)
+	}
+	slab := make([]geo.Point, 0, total)
+	for i := range segments {
+		s := &segments[i]
+		a := len(slab)
+		slab = append(slab, s.Shape...)
+		s.Shape = geo.Polyline(slab[a:len(slab):len(slab)])
+	}
+	n.shapeSlab = slab
+
+	// CSR adjacency via counting sort. Segments are scanned in id
+	// order, so each node's packed list is ascending by segment id —
+	// the same order the previous append-per-node representation gave.
+	n.outOff = make([]int32, len(nodes)+1)
+	n.inOff = make([]int32, len(nodes)+1)
+	for i := range segments {
+		n.outOff[segments[i].From+1]++
+		n.inOff[segments[i].To+1]++
+	}
+	for v := 0; v < len(nodes); v++ {
+		n.outOff[v+1] += n.outOff[v]
+		n.inOff[v+1] += n.inOff[v]
+	}
+	n.outSegs = make([]SegmentID, len(segments))
+	n.inSegs = make([]SegmentID, len(segments))
+	outCur := append([]int32(nil), n.outOff[:len(nodes)]...)
+	inCur := append([]int32(nil), n.inOff[:len(nodes)]...)
+	for i := range segments {
+		s := &segments[i]
+		n.outSegs[outCur[s.From]] = s.ID
+		outCur[s.From]++
+		n.inSegs[inCur[s.To]] = s.ID
+		inCur[s.To]++
 	}
 
-	// Cell size tuned to typical query radius; at least 50 m to keep
-	// the cell count bounded for tiny test networks.
-	cell := math.Max(50, math.Max(bounds.Width(), bounds.Height())/256)
+	// Cell size derived from segment density so per-cell occupancy —
+	// and with it candidate-lookup cost — stays flat from test lattices
+	// to metro-scale extents.
+	cell := spatial.AutoCellSize(bounds, len(segments), 0, 0)
 	n.index = spatial.NewGrid(bounds, cell)
-	for i := range n.segments {
-		s := &n.segments[i]
+	for i := range segments {
+		s := &segments[i]
 		box, _ := s.Shape.BBox()
 		n.index.Insert(segItem{shape: s.Shape, box: box})
 	}
-	return n, nil
+	return n
 }

@@ -2,7 +2,6 @@ package roadnet
 
 import (
 	"container/heap"
-	"container/list"
 	"math"
 	"sync"
 	"time"
@@ -26,6 +25,18 @@ var (
 	obsDijkstraS = obs.Default.Histogram("router.dijkstra.seconds", obs.FineLatencyBuckets)
 )
 
+func init() {
+	// Derived at scrape time from the hit/miss counters; exported as
+	// lhmm_router_cache_hit_rate.
+	obs.Default.Derived("router.cache.hit_rate", func() float64 {
+		h, m := float64(obsCacheHits.Value()), float64(obsCacheMisses.Value())
+		if h+m == 0 {
+			return 0
+		}
+		return h / (h + m)
+	})
+}
+
 // PointOnRoad is a position expressed as a fraction along a segment —
 // the form candidate matches take during path-finding.
 type PointOnRoad struct {
@@ -40,26 +51,49 @@ type Route struct {
 }
 
 // Router answers shortest-path queries over a Network. Searches are
-// bounded by MaxDist and results of single-source runs are memoized in
-// an LRU cache, mirroring the precomputation table the paper uses to
-// avoid repeated shortest-path searches (§V-A2). Router is safe for
-// concurrent use.
+// bounded by MaxDist. Without a hierarchy, results of single-source
+// Dijkstra runs are memoized in an approximate-LRU (CLOCK) cache,
+// mirroring the precomputation table the paper uses to avoid repeated
+// shortest-path searches (§V-A2). With a hierarchy attached
+// (WithHierarchy), node queries run as Contraction-Hierarchies label
+// intersections instead — same results, with per-node CH labels
+// (thousands of times smaller than flat trees) cached under the same
+// CLOCK policy. Router is safe for concurrent use.
 type Router struct {
 	net     *Network
 	maxDist float64
+	hier    *Hierarchy // nil = flat per-source Dijkstra
 
 	mu       sync.Mutex
-	cache    map[NodeID]*ssspResult
-	eviction *list.List // front = most recently used
+	cache    map[NodeID]int // source -> slot index in entries
+	entries  []cacheSlot
+	hand     int // CLOCK sweep position
 	capacity int
+
+	// CH label caches (hierarchy mode only), same CLOCK policy.
+	fwdLabels labelCache
+	bwdLabels labelCache
 }
 
-// ssspResult holds a bounded single-source shortest-path tree.
+// cacheSlot is one CLOCK-cache slot. The reference bit is set on every
+// hit and gives the entry a second chance during the eviction sweep, so
+// hot sources survive scans of cold ones — the property an exact LRU
+// has without its cost of mutating a shared recency list on every hit.
+type cacheSlot struct {
+	source NodeID
+	tree   *ssspResult
+	ref    bool
+}
+
+// ssspResult holds a bounded single-source shortest-path tree. tie
+// carries each node's canonical tie-break key alongside its distance
+// (see segTie); parents always describe the unique minimum-(dist, tie)
+// path from the source.
 type ssspResult struct {
 	source NodeID
 	dist   map[NodeID]float64
+	tie    map[NodeID]uint64
 	parent map[NodeID]SegmentID // segment used to reach the node
-	elem   *list.Element
 }
 
 // RouterOption configures a Router.
@@ -77,29 +111,52 @@ func WithCacheSize(n int) RouterOption {
 	return func(r *Router) { r.capacity = n }
 }
 
+// WithHierarchy attaches a prebuilt Contraction Hierarchy; node queries
+// then run as bidirectional CH searches instead of cached per-source
+// Dijkstra trees. The hierarchy must have been built over the same
+// network the router serves.
+func WithHierarchy(h *Hierarchy) RouterOption {
+	return func(r *Router) {
+		r.hier = h
+		if h != nil {
+			obsCHShortcuts.Set(int64(h.NumShortcuts()))
+		}
+	}
+}
+
 // NewRouter creates a Router over the network.
 func NewRouter(net *Network, opts ...RouterOption) *Router {
 	r := &Router{
 		net:      net,
 		maxDist:  30000,
-		cache:    make(map[NodeID]*ssspResult),
-		eviction: list.New(),
+		cache:    make(map[NodeID]int),
 		capacity: 4096,
 	}
 	for _, o := range opts {
 		o(r)
 	}
+	r.fwdLabels.capacity = r.capacity
+	r.bwdLabels.capacity = r.capacity
 	return r
 }
 
 // MaxDist returns the search bound in meters.
 func (r *Router) MaxDist() float64 { return r.maxDist }
 
+// Hierarchy returns the attached Contraction Hierarchy, or nil when the
+// router runs flat Dijkstra.
+func (r *Router) Hierarchy() *Hierarchy { return r.hier }
+
 // NodeDist returns the shortest route length between two nodes, or
 // ok=false if unreachable within the search bound.
 func (r *Router) NodeDist(from, to NodeID) (float64, bool) {
 	if from == to {
 		return 0, true
+	}
+	if r.hier != nil {
+		lf := r.label(&r.fwdLabels, from, true)
+		lb := r.label(&r.bwdLabels, to, false)
+		return r.hier.distLabels(lf, lb, r.maxDist)
 	}
 	t := r.tree(from)
 	d, ok := t.dist[to]
@@ -112,6 +169,11 @@ func (r *Router) NodeDist(from, to NodeID) (float64, bool) {
 func (r *Router) NodePath(from, to NodeID) ([]SegmentID, float64, bool) {
 	if from == to {
 		return nil, 0, true
+	}
+	if r.hier != nil {
+		lf := r.label(&r.fwdLabels, from, true)
+		lb := r.label(&r.bwdLabels, to, false)
+		return r.hier.pathLabels(lf, lb, r.maxDist)
 	}
 	t := r.tree(from)
 	d, ok := t.dist[to]
@@ -242,8 +304,9 @@ func clipShape(shape geo.Polyline, d0, d1 float64) geo.Polyline {
 // tree returns the memoized bounded shortest-path tree rooted at from.
 func (r *Router) tree(from NodeID) *ssspResult {
 	r.mu.Lock()
-	if t, ok := r.cache[from]; ok {
-		r.eviction.MoveToFront(t.elem)
+	if i, ok := r.cache[from]; ok {
+		r.entries[i].ref = true
+		t := r.entries[i].tree
 		r.mu.Unlock()
 		obsCacheHits.Inc()
 		return t
@@ -263,24 +326,108 @@ func (r *Router) tree(from NodeID) *ssspResult {
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if existing, ok := r.cache[from]; ok {
+	if i, ok := r.cache[from]; ok {
 		// Another goroutine computed it concurrently; keep theirs.
-		r.eviction.MoveToFront(existing.elem)
-		return existing
+		r.entries[i].ref = true
+		return r.entries[i].tree
 	}
-	t.elem = r.eviction.PushFront(from)
-	r.cache[from] = t
-	for len(r.cache) > r.capacity {
-		back := r.eviction.Back()
-		r.eviction.Remove(back)
-		delete(r.cache, back.Value.(NodeID))
+	if r.capacity <= 0 {
+		return t
+	}
+	if len(r.entries) < r.capacity {
+		r.cache[from] = len(r.entries)
+		r.entries = append(r.entries, cacheSlot{source: from, tree: t})
+	} else {
+		// CLOCK sweep: pass over referenced slots clearing their bit,
+		// evict the first unreferenced one. New entries start with the
+		// bit clear, so a scan of one-shot sources recycles its own
+		// slots before it can push out a recently re-used tree.
+		for r.entries[r.hand].ref {
+			r.entries[r.hand].ref = false
+			r.hand = (r.hand + 1) % len(r.entries)
+		}
+		victim := r.hand
+		delete(r.cache, r.entries[victim].source)
 		obsCacheEvictions.Inc()
+		r.entries[victim] = cacheSlot{source: from, tree: t}
+		r.cache[from] = victim
+		r.hand = (victim + 1) % len(r.entries)
 	}
 	obsCacheSize.Set(int64(len(r.cache)))
 	return t
 }
 
-// pqItem is a priority-queue entry for Dijkstra.
+// labelCache memoizes per-node CH labels under the same CLOCK
+// (second-chance) policy as the flat tree cache. Not self-locking:
+// callers hold Router.mu.
+type labelCache struct {
+	idx      map[NodeID]int
+	slots    []labelSlot
+	hand     int
+	capacity int
+}
+
+type labelSlot struct {
+	node  NodeID
+	label *chLabel
+	ref   bool
+}
+
+func (c *labelCache) get(n NodeID) (*chLabel, bool) {
+	i, ok := c.idx[n]
+	if !ok {
+		return nil, false
+	}
+	c.slots[i].ref = true
+	return c.slots[i].label, true
+}
+
+func (c *labelCache) put(n NodeID, l *chLabel) {
+	if c.capacity <= 0 {
+		return
+	}
+	if c.idx == nil {
+		c.idx = make(map[NodeID]int)
+	}
+	if len(c.slots) < c.capacity {
+		c.idx[n] = len(c.slots)
+		c.slots = append(c.slots, labelSlot{node: n, label: l})
+		return
+	}
+	for c.slots[c.hand].ref {
+		c.slots[c.hand].ref = false
+		c.hand = (c.hand + 1) % len(c.slots)
+	}
+	victim := c.hand
+	delete(c.idx, c.slots[victim].node)
+	c.slots[victim] = labelSlot{node: n, label: l}
+	c.idx[n] = victim
+	c.hand = (victim + 1) % len(c.slots)
+}
+
+// label returns the memoized CH label rooted at node, building it
+// outside the lock on a miss (concurrent builders race benignly; the
+// first insert wins and labels are interchangeable — the build is
+// deterministic).
+func (r *Router) label(c *labelCache, node NodeID, forward bool) *chLabel {
+	r.mu.Lock()
+	if l, ok := c.get(node); ok {
+		r.mu.Unlock()
+		return l
+	}
+	r.mu.Unlock()
+	l := r.hier.buildLabel(node, forward, r.maxDist)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l2, ok := c.get(node); ok {
+		return l2
+	}
+	c.put(node, l)
+	return l
+}
+
+// pqItem is a priority-queue entry for plain weighted Dijkstra
+// (ShortestPathWeighted).
 type pqItem struct {
 	node NodeID
 	dist float64
@@ -300,17 +447,77 @@ func (q *pq) Pop() interface{} {
 	return it
 }
 
-// dijkstra runs a bounded single-source shortest-path search.
+// segTie returns the canonical tie-break value of a segment: a fixed
+// pseudo-random 44-bit integer derived from the id (splitmix64 mix).
+// Routing orders paths by the lexicographic key (distance, sum of
+// segment tie values), which makes the minimum-key path unique almost
+// surely even on grid networks where many distinct paths share the
+// exact same length. That uniqueness is what lets the Contraction-
+// Hierarchies query reproduce the flat Dijkstra path byte for byte.
+// 44-bit values keep sums overflow-free to 2^20 hops.
+func segTie(id SegmentID) uint64 {
+	x := uint64(id) + 1
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x >> 20
+}
+
+// keyLess reports whether key (d1, t1) precedes (d2, t2) in the
+// canonical lexicographic path order.
+func keyLess(d1 float64, t1 uint64, d2 float64, t2 uint64) bool {
+	if d1 != d2 {
+		return d1 < d2
+	}
+	return t1 < t2
+}
+
+// keyItem is a priority-queue entry carrying the canonical (dist, tie)
+// key; the node id is the final comparison so pop order is fully
+// deterministic.
+type keyItem struct {
+	node NodeID
+	dist float64
+	tie  uint64
+}
+
+type keyPQ []keyItem
+
+func (q keyPQ) Len() int { return len(q) }
+func (q keyPQ) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	if q[i].tie != q[j].tie {
+		return q[i].tie < q[j].tie
+	}
+	return q[i].node < q[j].node
+}
+func (q keyPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *keyPQ) Push(x interface{}) { *q = append(*q, x.(keyItem)) }
+func (q *keyPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// dijkstra runs a bounded single-source shortest-path search under the
+// canonical (distance, tie) key order.
 func (r *Router) dijkstra(from NodeID) *ssspResult {
 	t := &ssspResult{
 		source: from,
 		dist:   map[NodeID]float64{from: 0},
+		tie:    map[NodeID]uint64{from: 0},
 		parent: map[NodeID]SegmentID{},
 	}
 	settled := make(map[NodeID]bool)
-	q := &pq{{from, 0}}
+	q := &keyPQ{{node: from}}
 	for q.Len() > 0 {
-		cur := heap.Pop(q).(pqItem)
+		cur := heap.Pop(q).(keyItem)
 		if settled[cur.node] {
 			continue
 		}
@@ -324,10 +531,12 @@ func (r *Router) dijkstra(from NodeID) *ssspResult {
 			if nd > r.maxDist {
 				continue
 			}
-			if old, ok := t.dist[seg.To]; !ok || nd < old {
+			nt := cur.tie + segTie(sid)
+			if od, ok := t.dist[seg.To]; !ok || keyLess(nd, nt, od, t.tie[seg.To]) {
 				t.dist[seg.To] = nd
+				t.tie[seg.To] = nt
 				t.parent[seg.To] = sid
-				heap.Push(q, pqItem{seg.To, nd})
+				heap.Push(q, keyItem{seg.To, nd, nt})
 			}
 		}
 	}
@@ -336,6 +545,7 @@ func (r *Router) dijkstra(from NodeID) *ssspResult {
 	for n, d := range t.dist {
 		if d > r.maxDist {
 			delete(t.dist, n)
+			delete(t.tie, n)
 			delete(t.parent, n)
 		}
 	}

@@ -104,3 +104,113 @@ func TestLargestComponent(t *testing.T) {
 		t.Errorf("LargestComponent = %v", comp)
 	}
 }
+
+// Unreachable targets: directed dead ends and disconnected nodes must
+// report ok=false, not a bogus path.
+func TestShortestPathWeightedUnreachable(t *testing.T) {
+	var b Builder
+	n0 := b.AddNode(geo.Pt(0, 0))
+	n1 := b.AddNode(geo.Pt(100, 0))
+	n2 := b.AddNode(geo.Pt(200, 0))
+	n3 := b.AddNode(geo.Pt(0, 500)) // disconnected entirely
+	if _, err := b.AddSegment(n0, n1, Local); err != nil {
+		t.Fatal(err)
+	}
+	// n2 -> n1 only: n2 is reachable from nowhere, and n1 cannot reach n2.
+	if _, err := b.AddSegment(n2, n1, Local); err != nil {
+		t.Fatal(err)
+	}
+	// Give n3 an outgoing edge so the network builder keeps it routable
+	// in one direction only.
+	if _, err := b.AddSegment(n3, n0, Local); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	length := func(s *Segment) float64 { return s.Length }
+	for _, c := range []struct{ from, to NodeID }{
+		{n0, n2}, // against the n2->n1 one-way
+		{n1, n0}, // against the n0->n1 one-way
+		{n0, n3}, // n3 has no incoming edges
+		{n1, n3},
+	} {
+		if path, d, ok := n.ShortestPathWeighted(c.from, c.to, length); ok {
+			t.Errorf("%d->%d: want unreachable, got path %v (d=%v)", c.from, c.to, path, d)
+		}
+	}
+	// Sanity: the edges that do exist still route.
+	if _, _, ok := n.ShortestPathWeighted(n3, n1, length); !ok {
+		t.Error("n3->n1 should be reachable via n0")
+	}
+}
+
+// Zero-length segments (overlapping nodes) are legal: they contribute
+// zero weight but must still appear in the returned path.
+func TestShortestPathWeightedZeroLengthSegments(t *testing.T) {
+	var b Builder
+	n0 := b.AddNode(geo.Pt(0, 0))
+	n1 := b.AddNode(geo.Pt(0, 0)) // same position: zero-length hop
+	n2 := b.AddNode(geo.Pt(100, 0))
+	s01, err := b.AddSegment(n0, n1, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s12, err := b.AddSegment(n1, n2, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, d, ok := n.ShortestPathWeighted(n0, n2, func(s *Segment) float64 { return s.Length })
+	if !ok {
+		t.Fatal("n0->n2 unreachable")
+	}
+	if len(path) != 2 || path[0] != s01 || path[1] != s12 {
+		t.Fatalf("path = %v, want [%d %d]", path, s01, s12)
+	}
+	if d != 100 {
+		t.Fatalf("d = %v, want 100", d)
+	}
+}
+
+// Duplicate parallel segments between the same node pair: the search
+// must take the cheaper one under the supplied weight, even when that
+// inverts the geometric order.
+func TestShortestPathWeightedParallelSegments(t *testing.T) {
+	var b Builder
+	n0 := b.AddNode(geo.Pt(0, 0))
+	n1 := b.AddNode(geo.Pt(100, 0))
+	short, err := b.AddSegment(n0, n1, Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := b.AddSegment(n0, n1, Local, geo.Pt(50, 200)) // detour shape
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, _, ok := n.ShortestPathWeighted(n0, n1, func(s *Segment) float64 { return s.Length })
+	if !ok || len(path) != 1 || path[0] != short {
+		t.Fatalf("by length: path = %v (ok=%v), want [%d]", path, ok, short)
+	}
+	// Invert the preference: make the geometrically long segment cheap.
+	path, d, ok := n.ShortestPathWeighted(n0, n1, func(s *Segment) float64 {
+		if s.ID == long {
+			return 1
+		}
+		return s.Length
+	})
+	if !ok || len(path) != 1 || path[0] != long {
+		t.Fatalf("by custom weight: path = %v (ok=%v), want [%d]", path, ok, long)
+	}
+	if d != 1 {
+		t.Fatalf("custom-weight d = %v, want 1", d)
+	}
+}

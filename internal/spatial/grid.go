@@ -40,6 +40,38 @@ type Grid struct {
 	items    []Item
 }
 
+// AutoCellSize picks a cell size for indexing itemCount items spread
+// over bounds so that an average cell holds about targetPerCell items
+// (<= 0 selects the default of 4). Sizing by density instead of by a
+// fixed bounds fraction keeps per-cell occupancy — and therefore
+// per-query refinement cost — flat as networks grow from test lattices
+// to metro-scale extents. The result is clamped to [minCell, the larger
+// bounds dimension] so tiny test fixtures and degenerate inputs stay
+// well-formed; minCell <= 0 selects the default of 50 m.
+func AutoCellSize(bounds geo.Rect, itemCount, targetPerCell int, minCell float64) float64 {
+	if targetPerCell <= 0 {
+		targetPerCell = 4
+	}
+	if minCell <= 0 {
+		minCell = 50
+	}
+	w, h := bounds.Width(), bounds.Height()
+	maxDim := math.Max(w, h)
+	if maxDim <= 0 || itemCount <= 0 {
+		return minCell
+	}
+	// Solve cells = area/cell² ≈ itemCount/targetPerCell. Degenerate
+	// (zero-area) bounds fall back to the linear analogue.
+	area := w * h
+	var cell float64
+	if area > 0 {
+		cell = math.Sqrt(area * float64(targetPerCell) / float64(itemCount))
+	} else {
+		cell = maxDim * float64(targetPerCell) / float64(itemCount)
+	}
+	return math.Min(math.Max(cell, minCell), maxDim)
+}
+
 // NewGrid creates a grid covering the rectangle bounds with square cells
 // of the given size in meters. The bounds are buffered by one cell so
 // items on the boundary index cleanly. cellSize must be positive and the

@@ -201,6 +201,13 @@ func SyntheticXiamen(scale float64, trips int) DatasetConfig {
 	return synth.SyntheticXiamen(scale, trips)
 }
 
+// SyntheticMetro returns a dataset config for a paper-scale city: at
+// scale=1 the road network carries ~100k directed segments, matching
+// the paper's Xiamen network size (Table I).
+func SyntheticMetro(scale float64, trips int) DatasetConfig {
+	return synth.SyntheticMetro(scale, trips)
+}
+
 // Preprocess applies the paper's filter chain (speed, α-trimmed mean,
 // direction filters) to a cellular trajectory.
 func Preprocess(ct CellTrajectory, cfg FilterConfig) CellTrajectory {
