@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	lhmm "repro"
+	"repro/internal/core"
+)
+
+// The -snapshot workload measures the durable-session machinery that
+// lhmm-serve's checkpointer exercises on every dirty sweep: encoding a
+// live mid-stream session to the lhmm-session/v1 wire format, and
+// restoring a matcher from those bytes (full structural validation +
+// Viterbi-state rebuild). Both paths run under the session lock in the
+// server, so their latency bounds how much a checkpoint sweep can
+// stall a concurrent push.
+
+// snapshotResult is the "snapshot" section of the -json document.
+type snapshotResult struct {
+	// Session shape at snapshot time.
+	Points  int `json:"points"`
+	Pending int `json:"pending"`
+	// BytesPerSession is the encoded snapshot size for that session.
+	BytesPerSession int `json:"bytes_per_session"`
+	// Encode/restore latency, microseconds per operation.
+	SnapshotEncodeUs float64 `json:"snapshot_encode_us"`
+	RestoreUs        float64 `json:"restore_us"`
+}
+
+// runSnapshotBench builds a small learned model, streams one held-out
+// trip through it, and times snapshot encode and restore over the
+// resulting session state.
+func runSnapshotBench(scale float64, trips int) (*snapshotResult, string, error) {
+	ds, err := lhmm.GenerateDataset(lhmm.SyntheticHangzhou(scale, trips))
+	if err != nil {
+		return nil, "", fmt.Errorf("generate dataset: %w", err)
+	}
+	cfg := lhmm.DefaultConfig()
+	m, err := lhmm.NewModel(ds, ds.TrainTrips(), cfg)
+	if err != nil {
+		return nil, "", fmt.Errorf("build model: %w", err)
+	}
+	// Frozen embeddings exercise the learned scoring path end to end
+	// without paying for training; the state being snapshotted is
+	// identical in shape either way.
+	m.RefreshEmbeddings()
+	wh := m.WeightsHash()
+
+	// Stream the longest held-out trip so the session carries a
+	// realistic mix of emitted prefix and pending tail.
+	var trip []lhmm.CellPoint
+	for _, tr := range ds.TestTrips() {
+		if len(tr.Cell) > len(trip) {
+			trip = tr.Cell
+		}
+	}
+	if len(trip) < 4 {
+		return nil, "", fmt.Errorf("no usable test trip (longest has %d points); raise -scale or -trips", len(trip))
+	}
+	sm := m.NewStream(2)
+	for _, p := range trip {
+		if _, err := sm.Push(p); err != nil {
+			return nil, "", fmt.Errorf("push: %w", err)
+		}
+	}
+
+	data, err := core.EncodeStreamSnapshot(sm, "bench", wh)
+	if err != nil {
+		return nil, "", fmt.Errorf("encode: %w", err)
+	}
+	res := &snapshotResult{
+		Points:          len(trip),
+		Pending:         sm.Pending(),
+		BytesPerSession: len(data),
+	}
+
+	res.SnapshotEncodeUs = usPerOp(func() error {
+		_, err := core.EncodeStreamSnapshot(sm, "bench", wh)
+		return err
+	})
+	res.RestoreUs = usPerOp(func() error {
+		_, err := core.DecodeStreamSnapshot(m, wh, data)
+		return err
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "session: %d points (%d pending), snapshot %d bytes\n",
+		res.Points, res.Pending, res.BytesPerSession)
+	fmt.Fprintf(&b, "encode:  %.1f us/op (%.1f MB/s)\n",
+		res.SnapshotEncodeUs, float64(res.BytesPerSession)/res.SnapshotEncodeUs)
+	fmt.Fprintf(&b, "restore: %.1f us/op (%.1f MB/s)\n",
+		res.RestoreUs, float64(res.BytesPerSession)/res.RestoreUs)
+	return res, b.String(), nil
+}
+
+// usPerOp times fn adaptively: warm up, then run for at least 250ms of
+// accumulated work before reporting microseconds per operation.
+func usPerOp(fn func() error) float64 {
+	for i := 0; i < 3; i++ {
+		if err := fn(); err != nil {
+			return -1
+		}
+	}
+	const minWall = 250 * time.Millisecond
+	var n int
+	start := time.Now()
+	for time.Since(start) < minWall {
+		for i := 0; i < 16; i++ {
+			if err := fn(); err != nil {
+				return -1
+			}
+		}
+		n += 16
+	}
+	return float64(time.Since(start).Microseconds()) / float64(n)
+}

@@ -24,6 +24,12 @@
 // matches (up to -drain-timeout) before exiting. A failed reload —
 // missing, truncated, or corrupt weights — keeps the previous model
 // serving.
+//
+// With -checkpoint-dir set, in-flight streaming sessions are
+// checkpointed to disk (periodically, on finish, and on drain) and
+// restored on the next boot, so a crash or planned restart loses no
+// session state. SIGUSR2 forces a synchronous sweep of every dirty
+// session — the handover primitive.
 package main
 
 import (
@@ -80,6 +86,8 @@ func run(args []string) error {
 	driftBaseline := fs.String("drift-baseline", "", "training-time drift baseline file (enables GET /v1/drift and lhmm_drift_* gauges)")
 	captureOut := fs.String("capture-out", "", "capture sampled match requests + response digests as JSONL to this file (for lhmm replay)")
 	captureSample := fs.Float64("capture-sample", 1, "fraction of eligible match requests to capture in [0,1]")
+	checkpointDir := fs.String("checkpoint-dir", "", "durable-session store: snapshot in-flight streaming sessions here and restore them on boot (empty disables)")
+	checkpointInterval := fs.Duration("checkpoint-interval", 5*time.Second, "periodic dirty-session checkpoint sweep cadence")
 	of := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -170,13 +178,17 @@ func run(args []string) error {
 			*captureOut, *captureSample)
 	}
 
-	srv := serve.New(reg, serve.Config{
+	srv, err := serve.New(reg, serve.Config{
 		Workers:      *workers,
 		Queue:        *queue,
 		MaxSessions:  *maxSessions,
 		SessionTTL:   *sessionTTL,
 		DefaultLag:   *lag,
 		MatchTimeout: *timeout,
+		Checkpoint: serve.CheckpointConfig{
+			Dir:      *checkpointDir,
+			Interval: *checkpointInterval,
+		},
 		Quality: obs.QualityConfig{
 			Window:          *sloWindow,
 			MaxDegradedRate: *sloDegraded,
@@ -190,7 +202,14 @@ func run(args []string) error {
 		DriftBaselinePath: *driftBaseline,
 		Capture:           capture,
 	})
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
+	if *checkpointDir != "" {
+		fmt.Fprintf(os.Stderr, "lhmm-serve: durable sessions in %s (%d restored, sweep every %s)\n",
+			*checkpointDir, srv.Sessions().Len(), *checkpointInterval)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -198,7 +217,9 @@ func run(args []string) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// SIGHUP hot-reloads; SIGINT/SIGTERM drain and exit.
+	// SIGHUP hot-reloads; SIGUSR2 forces a full checkpoint sweep (the
+	// handover primitive: sweep, then SIGKILL is loss-free); SIGINT/
+	// SIGTERM drain and exit.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
@@ -208,6 +229,19 @@ func run(args []string) error {
 			} else {
 				fmt.Fprintln(os.Stderr, "lhmm-serve: model reloaded")
 			}
+		}
+	}()
+	usr2 := make(chan os.Signal, 1)
+	signal.Notify(usr2, syscall.SIGUSR2)
+	go func() {
+		for range usr2 {
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			if err := srv.CheckpointSweep(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "lhmm-serve: checkpoint sweep:", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "lhmm-serve: checkpoint sweep complete")
+			}
+			cancel()
 		}
 	}()
 

@@ -62,6 +62,8 @@ func main() {
 		err = cmdReplay(os.Args[2:])
 	case "net":
 		err = cmdNet(os.Args[2:])
+	case "sessions":
+		err = cmdSessions(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -84,6 +86,8 @@ commands:
   net       road-network tools: 'net build' compiles a dataset's network
             (plus Contraction-Hierarchies index) into a binary .lnet file;
             'net stat' inspects one
+  sessions  durable-session tools: 'sessions inspect' summarizes a
+            snapshot file from an lhmm-serve -checkpoint-dir store
 
 observability flags (every command):
   -metrics FILE     dump telemetry counters/histograms as JSON on exit ('-' for stderr)

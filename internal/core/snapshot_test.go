@@ -1,0 +1,431 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/hmm"
+)
+
+// streamRun is everything observable about a finished streaming match,
+// collected push by push so restore fidelity can be pinned at emission
+// granularity, not just on the final state.
+type streamRun struct {
+	emitted []hmm.Candidate
+	state   *hmm.StreamState
+	path    []int
+}
+
+func finishRun(sm *hmm.StreamMatcher, emitted []hmm.Candidate) streamRun {
+	emitted = append(emitted, sm.Flush()...)
+	var path []int
+	for _, s := range sm.Path() {
+		path = append(path, int(s))
+	}
+	return streamRun{emitted: emitted, state: sm.ExportState(), path: path}
+}
+
+// sameCandidates compares candidate slices with float bit equality —
+// "close enough" is not the contract, bit-identical is.
+func sameCandidates(t *testing.T, what string, a, b []hmm.Candidate) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d entries", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Seg != b[i].Seg || a[i].Frac != b[i].Frac || a[i].Proj != b[i].Proj ||
+			a[i].Dist != b[i].Dist ||
+			math.Float64bits(a[i].Obs) != math.Float64bits(b[i].Obs) {
+			t.Fatalf("%s: entry %d differs: %+v vs %+v", what, i, a[i], b[i])
+		}
+	}
+}
+
+func sameRun(t *testing.T, base, got streamRun) {
+	t.Helper()
+	sameCandidates(t, "emitted", base.emitted, got.emitted)
+	sameCandidates(t, "matched", base.state.Matched, got.state.Matched)
+	if len(base.path) != len(got.path) {
+		t.Fatalf("path length %d vs %d", len(got.path), len(base.path))
+	}
+	for i := range base.path {
+		if base.path[i] != got.path[i] {
+			t.Fatalf("paths diverge at %d: %d vs %d", i, got.path[i], base.path[i])
+		}
+	}
+	if len(base.state.Gaps) != len(got.state.Gaps) {
+		t.Fatalf("gaps %d vs %d", len(got.state.Gaps), len(base.state.Gaps))
+	}
+	for i := range base.state.Gaps {
+		if base.state.Gaps[i] != got.state.Gaps[i] {
+			t.Fatalf("gap %d differs: %+v vs %+v", i, got.state.Gaps[i], base.state.Gaps[i])
+		}
+	}
+	for i := range base.state.Dead {
+		if base.state.Dead[i] != got.state.Dead[i] {
+			t.Fatalf("dead flag %d differs", i)
+		}
+	}
+	if base.state.Degraded != got.state.Degraded {
+		t.Fatalf("degraded %d vs %d", got.state.Degraded, base.state.Degraded)
+	}
+	// The full Viterbi tables, bit for bit: the first half restored
+	// from the snapshot, the second half recomputed on top of it.
+	for i := range base.state.F {
+		if len(base.state.F[i]) != len(got.state.F[i]) {
+			t.Fatalf("point %d: %d vs %d forward scores", i, len(got.state.F[i]), len(base.state.F[i]))
+		}
+		for j := range base.state.F[i] {
+			if math.Float64bits(base.state.F[i][j]) != math.Float64bits(got.state.F[i][j]) {
+				t.Fatalf("forward score (%d,%d) differs: %v vs %v", i, j, got.state.F[i][j], base.state.F[i][j])
+			}
+		}
+	}
+}
+
+// The tentpole property: checkpoint mid-stream, restore, push the
+// rest — every emission, the full Viterbi table, gaps, dead points,
+// degraded counters, and the expanded path are bit-identical to an
+// uninterrupted run. Run twice: a clean trip, and a trip with fault-
+// injected dead points under the split policy so the gap/stitch state
+// round-trips too.
+func TestSnapshotRestoreFidelity(t *testing.T) {
+	d := testDataset(t, 10)
+	m := streamModel(t, d)
+	wh := m.WeightsHash()
+	tr := d.TestTrips()[0]
+	if len(tr.Cell) < 6 {
+		t.Skip("trip too short")
+	}
+	lag := 2
+	half := len(tr.Cell) / 2
+
+	for _, tc := range []struct {
+		name  string
+		fault string
+	}{
+		{"clean", ""},
+		{"deadpoints", "hmm.candidates.empty:4"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.fault != "" {
+				m.Cfg.OnBreak = hmm.BreakSplit
+				defer func() { m.Cfg.OnBreak = hmm.BreakError }()
+			}
+			// arm resets all failpoint hit counters so the Nth-hit
+			// positions align between the baseline and interrupted runs.
+			arm := func() {
+				faultinject.DisarmAll()
+				if tc.fault != "" {
+					if err := faultinject.Arm(tc.fault); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			defer faultinject.DisarmAll()
+
+			arm()
+			sm := m.NewStream(lag)
+			var baseEmitted []hmm.Candidate
+			for _, p := range tr.Cell {
+				out, err := sm.Push(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				baseEmitted = append(baseEmitted, out...)
+			}
+			baseline := finishRun(sm, baseEmitted)
+			if tc.fault != "" {
+				dead := 0
+				for _, d := range baseline.state.Dead {
+					if d {
+						dead++
+					}
+				}
+				if dead == 0 {
+					t.Fatal("fault injection produced no dead points; the subtest pins nothing")
+				}
+			}
+
+			arm()
+			sm = m.NewStream(lag)
+			var emitted []hmm.Candidate
+			for _, p := range tr.Cell[:half] {
+				out, err := sm.Push(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				emitted = append(emitted, out...)
+			}
+			data, err := EncodeStreamSnapshot(sm, "fidelity-1", wh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap, err := DecodeStreamSnapshot(m, wh, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.ID != "fidelity-1" || snap.Lag != lag {
+				t.Fatalf("restored (id=%q, lag=%d), want (fidelity-1, %d)", snap.ID, snap.Lag, lag)
+			}
+			for _, p := range tr.Cell[half:] {
+				out, err := snap.SM.Push(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				emitted = append(emitted, out...)
+			}
+			sameRun(t, baseline, finishRun(snap.SM, emitted))
+		})
+	}
+}
+
+// A snapshot can be taken and restored at any point, including before
+// anything was pushed and after the last point.
+func TestSnapshotAtBoundaries(t *testing.T) {
+	d := testDataset(t, 10)
+	m := streamModel(t, d)
+	wh := m.WeightsHash()
+	tr := d.TestTrips()[0]
+
+	// Empty session round-trip.
+	sm := m.NewStream(1)
+	data, err := EncodeStreamSnapshot(sm, "empty", wh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := DecodeStreamSnapshot(m, wh, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted []hmm.Candidate
+	for _, p := range tr.Cell {
+		out, err := snap.SM.Push(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emitted = append(emitted, out...)
+	}
+	emitted = append(emitted, snap.SM.Flush()...)
+	if len(emitted) != len(tr.Cell) {
+		t.Fatalf("restored-empty stream emitted %d of %d points", len(emitted), len(tr.Cell))
+	}
+
+	// All-points-pushed round-trip: restore then flush only.
+	sm = m.NewStream(2)
+	want := 0
+	for _, p := range tr.Cell {
+		out, err := sm.Push(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += len(out)
+	}
+	data, err = EncodeStreamSnapshot(sm, "full", wh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err = DecodeStreamSnapshot(m, wh, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest := snap.SM.Flush()
+	if want+len(rest) != len(tr.Cell) {
+		t.Fatalf("restored-full stream finalized %d of %d points", want+len(rest), len(tr.Cell))
+	}
+}
+
+func snapshotFixture(t testing.TB) (*Model, [32]byte, []byte) {
+	t.Helper()
+	d := testDataset(t, 10)
+	m := streamModel(t, d)
+	wh := m.WeightsHash()
+	tr := d.TestTrips()[0]
+	sm := m.NewStream(2)
+	for _, p := range tr.Cell {
+		if _, err := sm.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := EncodeStreamSnapshot(sm, "fixture", wh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, wh, data
+}
+
+// refit recomputes the CRC footer after a deliberate body mutation, so
+// the test reaches the check behind the CRC gate.
+func refit(data []byte) []byte {
+	out := append([]byte(nil), data...)
+	crc := crc32.Checksum(out[:len(out)-4], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(out[len(out)-4:], crc)
+	return out
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	m, wh, data := snapshotFixture(t)
+
+	if _, err := DecodeStreamSnapshot(m, wh, data[:len(data)/2]); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("truncated snapshot: %v, want ErrSnapshotCorrupt", err)
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0xFF
+	if _, err := DecodeStreamSnapshot(m, wh, flipped); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("bit-flipped snapshot: %v, want ErrSnapshotCorrupt", err)
+	}
+	if _, err := DecodeStreamSnapshot(m, wh, []byte("LHMMSESS")); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("header-only snapshot: %v, want ErrSnapshotCorrupt", err)
+	}
+	if _, err := DecodeStreamSnapshot(m, wh, nil); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("nil snapshot: %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+func TestSnapshotRejectsVersionSkew(t *testing.T) {
+	m, wh, data := snapshotFixture(t)
+	skewed := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint16(skewed[8:], SnapshotVersion+1)
+	skewed = refit(skewed)
+	if _, err := DecodeStreamSnapshot(m, wh, skewed); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("version-skewed snapshot: %v, want ErrSnapshotVersion", err)
+	}
+	if _, err := InspectStreamSnapshot(skewed); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("inspect version-skewed: %v, want ErrSnapshotVersion", err)
+	}
+}
+
+func TestSnapshotRejectsModelMismatch(t *testing.T) {
+	m, wh, data := snapshotFixture(t)
+
+	// Wrong weights: same config, different hash.
+	var otherWH [32]byte
+	otherWH[0] = 1
+	if _, err := DecodeStreamSnapshot(m, otherWH, data); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("weights mismatch: %v, want ErrSnapshotMismatch", err)
+	}
+
+	// Wrong config: the fingerprint covers K.
+	origK := m.Cfg.K
+	m.Cfg.K = origK + 3
+	_, err := DecodeStreamSnapshot(m, wh, data)
+	m.Cfg.K = origK
+	if !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("config mismatch: %v, want ErrSnapshotMismatch", err)
+	}
+}
+
+func TestSnapshotEncodeValidatesID(t *testing.T) {
+	d := testDataset(t, 6)
+	m := streamModel(t, d)
+	sm := m.NewStream(1)
+	if _, err := EncodeStreamSnapshot(sm, "", [32]byte{}); err == nil {
+		t.Fatal("empty session id accepted")
+	}
+	long := make([]byte, snapMaxID+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if _, err := EncodeStreamSnapshot(sm, string(long), [32]byte{}); err == nil {
+		t.Fatal("oversized session id accepted")
+	}
+}
+
+func TestInspectStreamSnapshot(t *testing.T) {
+	m, _, data := snapshotFixture(t)
+	info, err := InspectStreamSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "fixture" || info.Version != SnapshotVersion {
+		t.Fatalf("inspect: id=%q version=%d", info.ID, info.Version)
+	}
+	if info.Points == 0 || info.Points != info.Emitted+info.Pending {
+		t.Fatalf("inspect: points=%d emitted=%d pending=%d", info.Points, info.Emitted, info.Pending)
+	}
+	if info.Dim != m.Cfg.Dim || info.Lag != 2 || info.Bytes != len(data) {
+		t.Fatalf("inspect: dim=%d lag=%d bytes=%d", info.Dim, info.Lag, info.Bytes)
+	}
+	if len(info.WeightsHash) != 64 || len(info.Fingerprint) != 16 {
+		t.Fatalf("inspect: weights_hash=%q fingerprint=%q", info.WeightsHash, info.Fingerprint)
+	}
+	if _, err := InspectStreamSnapshot(data[:snapMinLen-1]); err == nil {
+		t.Fatal("inspect accepted a truncated snapshot")
+	}
+}
+
+// Arbitrary bytes must decode to an error or a snapshot — never a
+// panic and never a giant allocation. The CRC footer rejects almost
+// all mutations outright, so each input is also re-tried with a fixed
+// CRC to exercise the structural validation behind the gate.
+func FuzzSnapshotDecode(f *testing.F) {
+	m, wh, data := snapshotFixture(f)
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	f.Add([]byte(snapMagic))
+	skewed := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint16(skewed[8:], SnapshotVersion+9)
+	f.Add(refit(skewed))
+	truncated := refit(data[: len(data)/3 : len(data)/3])
+	f.Add(truncated)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		for _, in := range [][]byte{b, fixCRC(b)} {
+			if snap, err := DecodeStreamSnapshot(m, wh, in); err == nil && snap == nil {
+				t.Fatal("nil snapshot without error")
+			}
+			if info, err := InspectStreamSnapshot(in); err == nil && info == nil {
+				t.Fatal("nil info without error")
+			}
+		}
+	})
+}
+
+// fixCRC makes arbitrary fuzz bytes pass the CRC gate by rewriting the
+// footer (no-op on inputs too short to carry one).
+func fixCRC(b []byte) []byte {
+	if len(b) < snapMinLen {
+		return b
+	}
+	return refit(b)
+}
+
+func BenchmarkSnapshotEncode(b *testing.B) {
+	d := testDataset(b, 10)
+	m := streamModel(b, d)
+	wh := m.WeightsHash()
+	tr := d.TestTrips()[0]
+	sm := m.NewStream(2)
+	for _, p := range tr.Cell {
+		if _, err := sm.Push(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		data, err := EncodeStreamSnapshot(sm, "bench", wh)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(data)
+	}
+	b.SetBytes(int64(n))
+}
+
+func BenchmarkSnapshotDecode(b *testing.B) {
+	m, wh, data := snapshotFixture(b)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeStreamSnapshot(m, wh, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package hmm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cellular"
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// This file makes StreamMatcher state a first-class, portable artifact:
+// ExportState lifts the complete in-flight matching state into an
+// exported value and NewStreamMatcherFromState rebuilds a matcher that
+// continues exactly where the exported one stopped. The serving layer's
+// session checkpointer serializes the exported state (together with the
+// learned session's caches, internal/core) so a crash, restart, or
+// handover never loses an in-flight trajectory: a restored matcher
+// pushed the remaining points produces output byte-identical to an
+// uninterrupted run, because the Viterbi recurrence is deterministic in
+// its table (f, pre) and the table round-trips bit-exactly.
+
+// StreamState is the complete serializable state of a StreamMatcher
+// mid-stream. All index invariants of the live matcher hold: Points,
+// Layers, F, Pre, and Dead are index-aligned per accepted point; dead
+// points hold nil Layers/F/Pre rows; Matched has exactly Emitted
+// entries.
+//
+// ExportState returns views, not deep copies: the exported slices alias
+// the matcher's live state and are only consistent while the matcher is
+// not pushed. Callers that serialize asynchronously must either encode
+// before releasing the lock that serializes pushes, or deep-copy.
+type StreamState struct {
+	// Lag is the matcher's fixed emission lag.
+	Lag int
+	// Points are the accepted (pushed and not sanitizer-dropped) points.
+	Points []StreamPoint
+	// Layers holds the candidate layer per point (nil for dead points).
+	Layers [][]Candidate
+	// F and Pre are the Viterbi forward scores and backpointers per
+	// point, index-aligned with Layers (Pre[i][j] indexes Layers[i-1];
+	// -1 marks a chain restart).
+	F [][]float64
+	// Pre holds per-candidate backpointers (see F).
+	Pre [][]int
+	// Dead marks accepted points that had no candidates.
+	Dead []bool
+	// Emitted is how many points have been finalized so far.
+	Emitted int
+	// Matched are the finalized matches (len == Emitted).
+	Matched []Candidate
+	// Gaps are the stitch boundaries finalized so far (Split policy).
+	Gaps []Gap
+	// SanitizeBadCoords / SanitizeBadTimes reproduce the drop-mode
+	// sanitization report.
+	SanitizeBadCoords int
+	SanitizeBadTimes  int
+	// LastT is the last accepted timestamp (-Inf before the first).
+	LastT float64
+	// Degraded counts scoring events that fell back to the classical
+	// Eq. 2/3 models so far.
+	Degraded int64
+}
+
+// StreamPoint is one accepted trajectory point in exported form
+// (mirror of traj.CellPoint with stable primitive fields).
+type StreamPoint struct {
+	Tower int
+	X, Y  float64
+	T     float64
+}
+
+// ExportState exports the matcher's complete resumable state. See
+// StreamState for the aliasing contract.
+func (s *StreamMatcher) ExportState() *StreamState {
+	pts := make([]StreamPoint, len(s.ct))
+	for i, p := range s.ct {
+		pts[i] = StreamPoint{Tower: int(p.Tower), X: p.P.X, Y: p.P.Y, T: p.T}
+	}
+	return &StreamState{
+		Lag:               s.Lag,
+		Points:            pts,
+		Layers:            s.layers,
+		F:                 s.f,
+		Pre:               s.pre,
+		Dead:              s.dead,
+		Emitted:           s.emitted,
+		Matched:           s.matched,
+		Gaps:              s.gaps,
+		SanitizeBadCoords: s.srep.BadCoords,
+		SanitizeBadTimes:  s.srep.BadTimes,
+		LastT:             s.lastT,
+		Degraded:          s.deg.Load(),
+	}
+}
+
+// NewStreamMatcherFromState rebuilds a StreamMatcher over m that
+// resumes exactly at st. The state is validated structurally (aligned
+// lengths, in-range backpointers and gap indices) so a corrupted or
+// hand-built state errors here instead of panicking mid-push. The
+// matcher takes ownership of the state's slices.
+func NewStreamMatcherFromState(m *Matcher, st *StreamState) (*StreamMatcher, error) {
+	if err := validateStreamState(st); err != nil {
+		return nil, err
+	}
+	s := NewStreamMatcher(m, st.Lag)
+	ct := make(traj.CellTrajectory, len(st.Points))
+	for i, p := range st.Points {
+		ct[i] = traj.CellPoint{
+			Tower: cellular.TowerID(p.Tower),
+			P:     geo.Point{X: p.X, Y: p.Y},
+			T:     p.T,
+		}
+	}
+	s.ct = ct
+	s.layers = st.Layers
+	s.f = st.F
+	s.pre = st.Pre
+	s.dead = st.Dead
+	s.emitted = st.Emitted
+	s.matched = st.Matched
+	s.gaps = st.Gaps
+	s.srep = traj.SanitizeReport{BadCoords: st.SanitizeBadCoords, BadTimes: st.SanitizeBadTimes}
+	s.lastT = st.LastT
+	s.deg.Store(st.Degraded)
+	return s, nil
+}
+
+// validateStreamState checks every structural invariant a live matcher
+// maintains, so restored state can be trusted by the push/emit paths.
+func validateStreamState(st *StreamState) error {
+	n := len(st.Points)
+	if len(st.Layers) != n || len(st.F) != n || len(st.Pre) != n || len(st.Dead) != n {
+		return fmt.Errorf("hmm: stream state: misaligned arrays: %d points, %d layers, %d f, %d pre, %d dead",
+			n, len(st.Layers), len(st.F), len(st.Pre), len(st.Dead))
+	}
+	if st.Lag < 0 {
+		return fmt.Errorf("hmm: stream state: negative lag %d", st.Lag)
+	}
+	if st.Emitted < 0 || st.Emitted > n {
+		return fmt.Errorf("hmm: stream state: emitted %d out of range for %d points", st.Emitted, n)
+	}
+	if len(st.Matched) != st.Emitted {
+		return fmt.Errorf("hmm: stream state: %d matched entries for %d emitted points", len(st.Matched), st.Emitted)
+	}
+	for i := 0; i < n; i++ {
+		nc := len(st.Layers[i])
+		if st.Dead[i] && nc != 0 {
+			return fmt.Errorf("hmm: stream state: dead point %d has %d candidates", i, nc)
+		}
+		if !st.Dead[i] && nc == 0 {
+			return fmt.Errorf("hmm: stream state: alive point %d has no candidates", i)
+		}
+		if len(st.F[i]) != nc || len(st.Pre[i]) != nc {
+			return fmt.Errorf("hmm: stream state: point %d: %d candidates, %d scores, %d backpointers",
+				i, nc, len(st.F[i]), len(st.Pre[i]))
+		}
+		prev := 0
+		if i > 0 {
+			prev = len(st.Layers[i-1])
+		}
+		for j, p := range st.Pre[i] {
+			if p < -1 || (i == 0 && p >= 0) || p >= prev {
+				return fmt.Errorf("hmm: stream state: point %d candidate %d: backpointer %d out of range (prev layer %d)",
+					i, j, p, prev)
+			}
+		}
+	}
+	for _, g := range st.Gaps {
+		if g.From < 0 || g.To <= g.From || g.To >= n {
+			return fmt.Errorf("hmm: stream state: gap [%d,%d] out of range for %d points", g.From, g.To, n)
+		}
+		if g.Reason != GapNoCandidates && g.Reason != GapViterbiBreak {
+			return fmt.Errorf("hmm: stream state: gap [%d,%d]: unknown reason %d", g.From, g.To, int(g.Reason))
+		}
+	}
+	if math.IsNaN(st.LastT) {
+		return fmt.Errorf("hmm: stream state: NaN last timestamp")
+	}
+	if st.Degraded < 0 {
+		return fmt.Errorf("hmm: stream state: negative degraded count %d", st.Degraded)
+	}
+	return nil
+}

@@ -31,12 +31,22 @@ var fpReloadFail = faultinject.New("serve.reload.fail")
 // live streaming sessions keep the model pointer they started with, so
 // a reload never changes scoring mid-trajectory.
 type Registry struct {
-	cur    atomic.Pointer[core.Model]
+	cur    atomic.Pointer[modelEntry]
 	loader func() (*core.Model, error)
 
 	// reloading serializes Reload calls (concurrent reloads would race
 	// on "latest wins" with no useful ordering).
 	reloading atomic.Bool
+}
+
+// modelEntry pairs a published model with identity digests computed
+// once at load time: the session checkpointer stamps every snapshot
+// with them, and recovery refuses snapshots that do not match the
+// serving model, so hashing per checkpoint (or per session) would be
+// pure waste.
+type modelEntry struct {
+	m  *core.Model
+	wh [32]byte // core.(*Model).WeightsHash
 }
 
 // NewRegistry wraps a loader. The registry starts empty; call Reload
@@ -48,7 +58,21 @@ func NewRegistry(loader func() (*core.Model, error)) *Registry {
 
 // Model returns the currently served model, or nil before the first
 // successful Reload.
-func (r *Registry) Model() *core.Model { return r.cur.Load() }
+func (r *Registry) Model() *core.Model {
+	if e := r.cur.Load(); e != nil {
+		return e.m
+	}
+	return nil
+}
+
+// Entry returns the served model together with its cached weights
+// hash, or (nil, zero) before the first successful Reload.
+func (r *Registry) Entry() (*core.Model, [32]byte) {
+	if e := r.cur.Load(); e != nil {
+		return e.m, e.wh
+	}
+	return nil, [32]byte{}
+}
 
 // Reload runs the loader and atomically publishes its model. On any
 // error the previous model keeps serving. Concurrent calls coalesce:
@@ -72,7 +96,7 @@ func (r *Registry) Reload() error {
 		obsReloadErrors.Inc()
 		return fmt.Errorf("serve: reload: loader returned a model without embeddings")
 	}
-	r.cur.Store(m)
+	r.cur.Store(&modelEntry{m: m, wh: m.WeightsHash()})
 	obsReloads.Inc()
 	obs.Logger().Info("serve: model reloaded")
 	return nil

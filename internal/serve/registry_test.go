@@ -112,7 +112,10 @@ func TestReloadHTTP(t *testing.T) {
 	if err := reg.Reload(); err != nil {
 		t.Fatal(err)
 	}
-	s := New(reg, Config{})
+	s, err := New(reg, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()

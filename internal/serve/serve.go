@@ -79,6 +79,10 @@ type Config struct {
 	// Capture, when set, records sampled plain match requests and
 	// response digests for lhmm replay.
 	Capture *Capture
+	// Checkpoint configures durable streaming sessions: with a non-empty
+	// Dir, in-flight sessions are periodically snapshotted to disk and
+	// restored on boot. Zero Dir disables checkpointing entirely.
+	Checkpoint CheckpointConfig
 }
 
 func (c *Config) withDefaults() Config {
@@ -115,6 +119,7 @@ type Server struct {
 	sess *SessionManager
 	adm  *admission
 	qm   *obs.QualityMonitor
+	ckpt *Checkpointer // nil when checkpointing is disabled
 	mux  *http.ServeMux
 
 	draining  chan struct{} // closed by Drain
@@ -129,8 +134,12 @@ type Server struct {
 
 // New builds a Server around a model registry. It enables the Default
 // obs registry (a server without metrics is not operable) and starts
-// the session janitor.
-func New(reg *Registry, cfg Config) *Server {
+// the session janitor. With cfg.Checkpoint.Dir set, it also creates
+// the checkpoint store, restores every recoverable session from it
+// (quarantining the rest), and starts the async checkpointer — so a
+// ready server has already recovered its pre-crash sessions. The only
+// error paths are checkpoint-store setup failures.
+func New(reg *Registry, cfg Config) (*Server, error) {
 	obs.Default.Enable()
 	c := cfg.withDefaults()
 	s := &Server{
@@ -139,6 +148,20 @@ func New(reg *Registry, cfg Config) *Server {
 		sess:     NewSessionManager(c.MaxSessions, c.SessionTTL),
 		adm:      newAdmission(c.Workers, c.Queue),
 		draining: make(chan struct{}),
+	}
+	if c.Checkpoint.Dir != "" {
+		ck, err := NewCheckpointer(c.Checkpoint, s.sess)
+		if err != nil {
+			return nil, err
+		}
+		s.ckpt = ck
+		s.sess.onRemove = ck.Remove
+		if m, wh := reg.Entry(); m != nil {
+			ck.Recover(m, wh, time.Now(), c.SessionTTL)
+		} else if reg != nil {
+			obs.Logger().Warn("serve: checkpoint recovery skipped: no model loaded yet")
+		}
+		ck.Start()
 	}
 	// The quality monitor mirrors its status into a gauge on top of any
 	// caller-provided transition hook.
@@ -177,15 +200,31 @@ func New(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
-	return s
+	return s, nil
 }
 
 // Sessions exposes the session manager (tests drive Sweep directly).
 func (s *Server) Sessions() *SessionManager { return s.sess }
 
+// Checkpointer exposes the session checkpointer, or nil when
+// checkpointing is disabled.
+func (s *Server) Checkpointer() *Checkpointer { return s.ckpt }
+
+// CheckpointSweep checkpoints every dirty session and blocks until
+// all are durable or ctx expires — the planned-handover entry point
+// (lhmm-serve wires it to SIGUSR2) and the drain path's final flush.
+func (s *Server) CheckpointSweep(ctx context.Context) error {
+	if s.ckpt == nil {
+		return errors.New("serve: checkpointing disabled")
+	}
+	return s.ckpt.SweepSync(ctx)
+}
+
 // Drain stops admitting matching work — subsequent match/session
 // requests get 503 — and blocks until in-flight matches finish or ctx
-// expires. Health and metrics endpoints keep answering throughout.
+// expires, then flushes a final checkpoint sweep so every surviving
+// session is durable before the process exits. Health and metrics
+// endpoints keep answering throughout.
 func (s *Server) Drain(ctx context.Context) error {
 	s.drainOnce.Do(func() {
 		close(s.draining)
@@ -199,15 +238,25 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain: %w", ctx.Err())
 	}
+	if s.ckpt != nil {
+		if err := s.ckpt.SweepSync(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// Close releases background resources (the session janitor). Call
-// after Drain.
-func (s *Server) Close() { s.sess.Stop() }
+// Close releases background resources (the session janitor and the
+// checkpoint writer). Call after Drain.
+func (s *Server) Close() {
+	s.sess.Stop()
+	if s.ckpt != nil {
+		s.ckpt.Stop()
+	}
+}
 
 func (s *Server) isDraining() bool {
 	select {
@@ -443,8 +492,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	m, ok := s.model(w)
-	if !ok {
+	// One registry read: the model and the weights hash stamped into
+	// the session's snapshots must belong to the same load.
+	m, wh := s.reg.Entry()
+	if m == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: no model loaded"))
 		return
 	}
 	mm, err := overrideModel(m, req.OnBreak, req.Sanitize)
@@ -460,7 +512,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		}
 		lag = *req.Lag
 	}
-	sess, err := s.sess.Create(mm, lag, time.Now())
+	sess, err := s.sess.Create(mm, wh, lag, time.Now())
 	if err != nil {
 		writeError(w, errorCode(err), err)
 		return
@@ -506,6 +558,11 @@ func (s *Server) handleSessionPush(w http.ResponseWriter, r *http.Request) {
 
 	pushStart := time.Now()
 	fin, dropped, degDelta, err := sess.push(ct, pushStart)
+	if s.ckpt != nil {
+		// On-push async checkpoint (deduplicated; also on the error
+		// path, since points before the failure were absorbed).
+		s.ckpt.enqueue(sess)
+	}
 	if err != nil {
 		obsMatchErrs.Inc()
 		s.recordMatchFailure(err)

@@ -93,7 +93,10 @@ func staticRegistry(t testing.TB, m *core.Model) *Registry {
 
 func testServer(t testing.TB, m *core.Model, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(staticRegistry(t, m), cfg)
+	s, err := New(staticRegistry(t, m), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -462,7 +465,10 @@ func TestReadyzWithoutModel(t *testing.T) {
 	reg := NewRegistry(func() (*core.Model, error) {
 		return nil, fmt.Errorf("nope")
 	})
-	s := New(reg, Config{})
+	s, err := New(reg, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

@@ -59,9 +59,52 @@ type Session struct {
 	done bool
 
 	lastNano atomic.Int64 // last touch, UnixNano; read by the janitor without mu
+
+	// Durability bookkeeping (all no-ops when checkpointing is off).
+	// wh is the weights hash of the model this session scores with,
+	// stamped into every snapshot; seq counts state-changing pushes and
+	// ckptSeq the last durably persisted seq, so seq != ckptSeq is the
+	// dirty predicate; ckptQueued dedups the async write queue;
+	// finished mirrors done for lock-free dirty checks.
+	wh         [32]byte
+	seq        atomic.Uint64
+	ckptSeq    atomic.Uint64
+	ckptQueued atomic.Bool
+	finished   atomic.Bool
 }
 
 func (s *Session) touch(now time.Time) { s.lastNano.Store(now.UnixNano()) }
+
+// ckptDirty reports whether the session has state newer than its last
+// durable snapshot. Lock-free: the checkpointer's sweep polls every
+// live session.
+func (s *Session) ckptDirty() bool {
+	return !s.finished.Load() && s.seq.Load() != s.ckptSeq.Load()
+}
+
+// encodeSnapshot serializes the session under its writer lock,
+// returning the bytes and the seq they capture. A finished session
+// returns errSessionNotFound (its checkpoint is being removed, not
+// rewritten).
+func (s *Session) encodeSnapshot() ([]byte, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil, 0, errSessionNotFound
+	}
+	seq := s.seq.Load()
+	data, err := core.EncodeStreamSnapshot(s.sm, s.ID, s.wh)
+	return data, seq, err
+}
+
+// newRestoredSession wraps a decoded snapshot as a live session. The
+// restored state is already durable, so it starts clean (seq ==
+// ckptSeq).
+func newRestoredSession(snap *core.StreamSnapshot, wh [32]byte, now time.Time) *Session {
+	s := &Session{ID: snap.ID, sm: snap.SM, wh: wh}
+	s.touch(now)
+	return s
+}
 
 // push feeds points through the session's matcher under its writer
 // lock and reports the newly finalized matches, the drop-mode
@@ -74,6 +117,10 @@ func (s *Session) push(pts traj.CellTrajectory, now time.Time) (fin []hmm.Candid
 		return nil, 0, 0, errSessionNotFound
 	}
 	s.touch(now)
+	// Any push attempt may change matcher state (points before an
+	// error are absorbed), so the session is dirty either way. One
+	// atomic add; the scoring path itself is untouched.
+	s.seq.Add(1)
 	before := s.sm.Sanitize().Dropped()
 	degBefore := s.sm.Degraded()
 	for i, p := range pts {
@@ -96,6 +143,7 @@ func (s *Session) finish() (MatchResponse, error) {
 		return MatchResponse{}, errSessionNotFound
 	}
 	s.done = true
+	s.finished.Store(true)
 	s.sm.Flush()
 	return streamResultJSON(s.sm), nil
 }
@@ -128,6 +176,12 @@ type SessionManager struct {
 	count  atomic.Int64 // live sessions, bounded by max
 	max    int64
 	ttl    time.Duration
+
+	// onRemove, when set (before any traffic), observes every session
+	// leaving the manager; expired distinguishes TTL eviction from
+	// finish/delete. The checkpointer uses it to delete on-disk
+	// snapshots so the store cannot outgrow the live session set.
+	onRemove func(id string, expired bool)
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -174,38 +228,76 @@ func (m *SessionManager) Start() {
 // the server discards everything anyway).
 func (m *SessionManager) Stop() { m.stopOnce.Do(func() { close(m.stopCh) }) }
 
-func (m *SessionManager) shard(id string) *sessionShard {
+// shardIndex maps a session ID to its shard (and to its checkpoint
+// directory — the on-disk layout mirrors the in-memory one).
+func shardIndex(id string) uint32 {
 	h := fnv.New32a()
 	h.Write([]byte(id))
-	return &m.shards[h.Sum32()&(sessionShards-1)]
+	return h.Sum32() & (sessionShards - 1)
+}
+
+func (m *SessionManager) shard(id string) *sessionShard {
+	return &m.shards[shardIndex(id)]
 }
 
 // Create admits a new session backed by a fresh StreamMatcher from
-// model. Returns errSessionCap when the manager is full.
-func (m *SessionManager) Create(model *core.Model, lag int, now time.Time) (*Session, error) {
+// model. wh is the model's weights hash, stamped into the session's
+// snapshots (zero when checkpointing is off — never read then).
+// Returns errSessionCap when the manager is full.
+func (m *SessionManager) Create(model *core.Model, wh [32]byte, lag int, now time.Time) (*Session, error) {
 	if fpSessionCreate.Fail() {
 		obsSessRejected.Inc()
 		return nil, fmt.Errorf("serve: session create: fault injected: %s", fpSessionCreate.Name())
 	}
+	id, err := newSessionID()
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{ID: id, sm: model.NewStream(lag), wh: wh}
+	s.touch(now)
+	if err := m.adopt(s, now); err != nil {
+		return nil, err
+	}
+	obsSessCreated.Inc()
+	return s, nil
+}
+
+// adopt inserts a fully built session (Create, checkpoint recovery)
+// under the cap, rejecting duplicates.
+func (m *SessionManager) adopt(s *Session, now time.Time) error {
 	if m.count.Add(1) > m.max {
 		m.count.Add(-1)
 		obsSessRejected.Inc()
-		return nil, errSessionCap
+		return errSessionCap
 	}
-	id, err := newSessionID()
-	if err != nil {
-		m.count.Add(-1)
-		return nil, err
-	}
-	s := &Session{ID: id, sm: model.NewStream(lag)}
-	s.touch(now)
-	sh := m.shard(id)
+	sh := m.shard(s.ID)
 	sh.mu.Lock()
-	sh.m[id] = s
+	if _, dup := sh.m[s.ID]; dup {
+		sh.mu.Unlock()
+		m.count.Add(-1)
+		return fmt.Errorf("serve: duplicate session id %s", s.ID)
+	}
+	sh.m[s.ID] = s
 	sh.mu.Unlock()
-	obsSessCreated.Inc()
 	obsSessActive.Set(m.count.Load())
-	return s, nil
+	return nil
+}
+
+// forEach visits every live session, one shard lock at a time (the
+// checkpointer's sweeps).
+func (m *SessionManager) forEach(f func(*Session)) {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		ss := make([]*Session, 0, len(sh.m))
+		for _, s := range sh.m {
+			ss = append(ss, s)
+		}
+		sh.mu.Unlock()
+		for _, s := range ss {
+			f(s)
+		}
+	}
 }
 
 // Get returns the live session for id, or errSessionNotFound.
@@ -232,6 +324,9 @@ func (m *SessionManager) Remove(id string) {
 	if ok {
 		m.count.Add(-1)
 		obsSessActive.Set(m.count.Load())
+		if m.onRemove != nil {
+			m.onRemove(id, false)
+		}
 	}
 }
 
@@ -244,6 +339,7 @@ func (m *SessionManager) Len() int { return int(m.count.Load()) }
 func (m *SessionManager) Sweep(now time.Time) int {
 	cutoff := now.Add(-m.ttl).UnixNano()
 	evicted := 0
+	var expired []string
 	for i := range m.shards {
 		sh := &m.shards[i]
 		sh.mu.Lock()
@@ -252,9 +348,17 @@ func (m *SessionManager) Sweep(now time.Time) int {
 				delete(sh.m, id)
 				m.count.Add(-1)
 				evicted++
+				expired = append(expired, id)
 			}
 		}
 		sh.mu.Unlock()
+	}
+	if m.onRemove != nil {
+		// Outside the shard locks: the hook deletes on-disk checkpoints
+		// (the store must not outlive its sessions).
+		for _, id := range expired {
+			m.onRemove(id, true)
+		}
 	}
 	if evicted > 0 {
 		obsSessEvicted.Add(int64(evicted))

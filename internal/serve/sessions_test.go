@@ -16,15 +16,15 @@ func TestSessionTTLEviction(t *testing.T) {
 	sm := NewSessionManager(10, time.Minute)
 	t0 := time.Now()
 
-	s1, err := sm.Create(m, 1, t0)
+	s1, err := sm.Create(m, [32]byte{}, 1, t0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := sm.Create(m, 1, t0)
+	s2, err := sm.Create(m, [32]byte{}, 1, t0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fresh, err := sm.Create(m, 1, t0)
+	fresh, err := sm.Create(m, [32]byte{}, 1, t0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,19 +55,19 @@ func TestSessionCapRejection(t *testing.T) {
 	sm := NewSessionManager(2, time.Minute)
 	now := time.Now()
 
-	a, err := sm.Create(m, 1, now)
+	a, err := sm.Create(m, [32]byte{}, 1, now)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sm.Create(m, 1, now); err != nil {
+	if _, err := sm.Create(m, [32]byte{}, 1, now); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sm.Create(m, 1, now); !errors.Is(err, errSessionCap) {
+	if _, err := sm.Create(m, [32]byte{}, 1, now); !errors.Is(err, errSessionCap) {
 		t.Fatalf("create above cap: %v, want errSessionCap", err)
 	}
 	// Removing one frees a slot.
 	sm.Remove(a.ID)
-	if _, err := sm.Create(m, 1, now); err != nil {
+	if _, err := sm.Create(m, [32]byte{}, 1, now); err != nil {
 		t.Fatalf("create after removal: %v", err)
 	}
 }
@@ -99,7 +99,7 @@ func TestConcurrentSessionPushes(t *testing.T) {
 	sm := NewSessionManager(64, time.Minute)
 	now := time.Now()
 
-	shared, err := sm.Create(&mm, 1, now)
+	shared, err := sm.Create(&mm, [32]byte{}, 1, now)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestConcurrentSessionPushes(t *testing.T) {
 			defer wg.Done()
 			// Each worker pushes to the shared session and to a private
 			// one.
-			own, err := sm.Create(&mm, 1, now)
+			own, err := sm.Create(&mm, [32]byte{}, 1, now)
 			if err != nil {
 				t.Error(err)
 				return
@@ -150,7 +150,7 @@ func TestConcurrentSessionPushes(t *testing.T) {
 func TestSessionDoubleFinish(t *testing.T) {
 	_, m := fixture(t)
 	sm := NewSessionManager(4, time.Minute)
-	s, err := sm.Create(m, 0, time.Now())
+	s, err := sm.Create(m, [32]byte{}, 0, time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}

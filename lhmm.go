@@ -277,6 +277,19 @@ func RandSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 // network front-end over exactly that constructor.
 type StreamMatcher = hmm.StreamMatcher
 
+// SessionSnapshotInfo is the model-independent summary of a durable
+// streaming-session snapshot (the lhmm-session/v1 files lhmm-serve
+// writes under -checkpoint-dir), as reported by `lhmm sessions
+// inspect`.
+type SessionSnapshotInfo = core.SnapshotInfo
+
+// InspectSessionSnapshot validates a snapshot's framing (magic, CRC,
+// version, structural invariants) and summarizes it without needing
+// the dataset or model. Safe on arbitrary bytes.
+func InspectSessionSnapshot(data []byte) (*SessionSnapshotInfo, error) {
+	return core.InspectStreamSnapshot(data)
+}
+
 // NewClassicalStream builds a streaming matcher over the classical
 // distance-probability models with the given emission lag (the
 // non-learned counterpart of (*Model).NewStream).
