@@ -47,6 +47,7 @@ import (
 	lhmm "repro"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/traj"
 )
@@ -88,6 +89,11 @@ func run(args []string) error {
 	captureSample := fs.Float64("capture-sample", 1, "fraction of eligible match requests to capture in [0,1]")
 	checkpointDir := fs.String("checkpoint-dir", "", "durable-session store: snapshot in-flight streaming sessions here and restore them on boot (empty disables)")
 	checkpointInterval := fs.Duration("checkpoint-interval", 5*time.Second, "periodic dirty-session checkpoint sweep cadence")
+	batchWindow := fs.Duration("batch-window", 0, "cross-request micro-batch coalescing window (0 disables batching; float64 output is byte-identical either way)")
+	batchMax := fs.Int("batch-max", 0, "flush a micro-batch early once it holds this many rows (0 = default 512)")
+	batchWorkers := fs.Int("batch-workers", 0, "micro-batch executor goroutines (0 = GOMAXPROCS)")
+	f32 := fs.Bool("f32", false, "score micro-batches on the approximate float32 path (NOT byte-identical; excluded from parity)")
+	batchMemo := fs.Int("batch-memo", 64<<20, "byte budget of the cross-batch scored-row memo (0 disables; hits are bit-identical to recomputing)")
 	of := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,6 +131,23 @@ func run(args []string) error {
 		return err
 	}
 
+	// The batching scheduler is created before the loader so every
+	// loaded model — initial, hot-reloaded, or checkpoint-recovered —
+	// carries it as its executor. Nil when batching is off, keeping the
+	// scoring path exactly as before.
+	var scheduler *sched.Scheduler
+	if *batchWindow > 0 {
+		scheduler = sched.New(sched.Config{
+			Window:    *batchWindow,
+			MaxRows:   *batchMax,
+			Workers:   *batchWorkers,
+			F32:       *f32,
+			MemoBytes: *batchMemo,
+		})
+	} else if *f32 {
+		return errors.New("-f32 requires -batch-window > 0")
+	}
+
 	// The loader runs once at startup and again on every reload: it
 	// rebuilds a fresh model skeleton over the resident dataset and
 	// restores the (possibly replaced) weights file. Load validates
@@ -149,6 +172,9 @@ func run(args []string) error {
 		defer wf.Close()
 		if err := m.Load(wf); err != nil {
 			return nil, err
+		}
+		if scheduler != nil {
+			m.Exec = scheduler
 		}
 		return m, nil
 	}
@@ -201,6 +227,7 @@ func run(args []string) error {
 		DriftBaseline:     baseline,
 		DriftBaselinePath: *driftBaseline,
 		Capture:           capture,
+		Sched:             scheduler,
 	})
 	if err != nil {
 		return err
@@ -251,6 +278,14 @@ func run(args []string) error {
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "lhmm-serve: serving %s on %s (dim %d, k %d, %d workers)\n",
 		ds.Name, *addr, *dim, *k, *workers)
+	if scheduler != nil {
+		prec := "float64, byte-identical"
+		if *f32 {
+			prec = "float32, approximate"
+		}
+		fmt.Fprintf(os.Stderr, "lhmm-serve: micro-batching scoring (window %s, %s)\n",
+			*batchWindow, prec)
+	}
 
 	select {
 	case err := <-serveErr:

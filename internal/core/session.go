@@ -331,36 +331,94 @@ func (s *session) TransScore(ct traj.CellTrajectory, i int, from, to *hmm.Candid
 	return p, true
 }
 
+// roadProbFill batch-computes every uncached Eq. 10 road probability
+// referenced by the step's reachable routes: one multi-row attention
+// read-out (nn.AttKeys.QueryAllWS) plus one R×2d product through the
+// relevance MLP — routed through Model.Exec when a scheduler is
+// installed — instead of R single-row passes. Per-row arithmetic
+// mirrors roadProb exactly (MatMulInto is row-independent and the
+// qdot/softmax/read-out order is shared), so cached values are
+// bit-identical whichever path computed them; the scalar TransScore
+// path keeps reading the same cache.
+func (s *session) roadProbFill(routes []roadnet.Route, mask []float64) {
+	if s.m.Cfg.DisableImplicitTrans {
+		return
+	}
+	// Unique uncached segments across the step, in first-encounter order
+	// (deterministic: routes are pair-indexed).
+	var need []roadnet.SegmentID
+	seen := make(map[roadnet.SegmentID]bool)
+	s.roadMu.Lock()
+	for p := range routes {
+		if math.IsNaN(mask[p]) {
+			continue
+		}
+		for _, sid := range routes[p].Segs {
+			if seen[sid] {
+				continue
+			}
+			seen[sid] = true
+			if _, ok := s.roadP[sid]; !ok {
+				need = append(need, sid)
+			}
+		}
+	}
+	s.roadMu.Unlock()
+	obsRoadProbMiss.Add(int64(len(need)))
+	if len(need) == 0 {
+		return
+	}
+	d := s.m.Cfg.Dim
+	segs := s.ws.Take(len(need), d)
+	for r, sid := range need {
+		copy(segs.Row(r), s.m.segEmb(sid))
+	}
+	xl := s.transKeys.QueryAllWS(s.ws, segs)
+	feat := s.ws.Take(len(need), 2*d)
+	for r := 0; r < len(need); r++ {
+		row := feat.Row(r)
+		copy(row[:d], segs.Row(r))
+		copy(row[d:], xl.Row(r))
+	}
+	logits := s.m.applyMLP(s.ws, s.m.TransMLP, feat)
+	s.roadMu.Lock()
+	for r, sid := range need {
+		lr := logits.Row(r)
+		s.roadP[sid] = softmaxP1(lr[0], lr[1])
+	}
+	s.roadMu.Unlock()
+}
+
 // ScoreBatch implements hmm.TransitionBatchModel: the whole k×k
 // transition fan-out of one Viterbi step in a single fused-MLP batch.
-// Route construction and explicit-feature assembly run on
-// Cfg.Parallel workers (each with its own scratch workspace; the
-// router's SSSP cache and the session's road-probability cache are
-// concurrency-safe), then one (k·k)×3 matrix product through the
-// Eq. 12 fuse MLP scores every reachable pair at once. The per-step
-// straight-line distance is hoisted out of the pair loop. Results are
-// identical to pairwise TransScore regardless of worker count: feature
-// rows are pair-indexed and the fused product is row-independent.
+// Route construction runs on Cfg.Parallel workers (the router's SSSP
+// cache is concurrency-safe), then every road probability the step's
+// routes reference is batch-filled in one shot (roadProbFill), the
+// explicit features are assembled from the warm cache, and one
+// (k·k)×3 matrix product through the Eq. 12 fuse MLP scores every
+// reachable pair at once. The per-step straight-line distance is
+// hoisted out of the pair loop. Results are identical to pairwise
+// TransScore regardless of worker count: feature rows are
+// pair-indexed, cached road probabilities are bit-identical whichever
+// path computed them, and the MLP products are row-independent.
 func (s *session) ScoreBatch(ct traj.CellTrajectory, i int, from, to []hmm.Candidate, out []float64) {
 	nFrom, nTo := len(from), len(to)
 	nPairs := nFrom * nTo
 	straight := s.ct[i-1].P.Dist(s.ct[i].P)
 	s.ws.Reset()
 	feat := s.ws.Take(nPairs, 3)
+	routes := make([]roadnet.Route, nPairs)
 
-	// Phase 1: routes + explicit features per pair, fanned out over
-	// workers. out doubles as the reachability mask (NaN = unreachable).
-	scorePair := func(ws *nn.Workspace, p int) {
+	// Phase 1: a route per pair, fanned out over workers. out doubles as
+	// the reachability mask (NaN = unreachable).
+	routePair := func(p int) {
 		j, kk := p/nTo, p%nTo
 		route, ok := s.m.Router.RouteBetween(from[j].Pos(), to[kk].Pos())
-		row := feat.Row(p)
 		if !ok || len(route.Segs) == 0 {
 			out[p] = math.NaN()
-			row[0], row[1], row[2] = 0, 0, 0
 			return
 		}
-		f := s.transFeatures(ws, i, route, straight)
-		row[0], row[1], row[2] = f[0], f[1], f[2]
+		routes[p] = route
 		out[p] = 0
 	}
 	workers := s.m.Cfg.Parallel
@@ -368,11 +426,9 @@ func (s *session) ScoreBatch(ct traj.CellTrajectory, i int, from, to []hmm.Candi
 		workers = nPairs
 	}
 	if workers <= 1 {
-		ws := nn.GetWorkspace()
 		for p := 0; p < nPairs; p++ {
-			scorePair(ws, p)
+			routePair(p)
 		}
-		nn.PutWorkspace(ws)
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
@@ -380,21 +436,35 @@ func (s *session) ScoreBatch(ct traj.CellTrajectory, i int, from, to []hmm.Candi
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				ws := nn.GetWorkspace()
-				defer nn.PutWorkspace(ws)
 				for {
 					p := int(next.Add(1)) - 1
 					if p >= nPairs {
 						return
 					}
-					scorePair(ws, p)
+					routePair(p)
 				}
 			}()
 		}
 		wg.Wait()
 	}
 
-	// Phase 2: one batched product through the fuse MLP. NaN in out is
+	// Phase 2: batch every uncached road probability the step needs,
+	// then assemble the explicit features from the warm cache. Sharing
+	// s.ws with transFeatures is safe only because roadProbFill
+	// guarantees every roadProb read below is a cache hit (a miss would
+	// Reset the workspace under the live feat buffer).
+	s.roadProbFill(routes, out)
+	for p := 0; p < nPairs; p++ {
+		row := feat.Row(p)
+		if math.IsNaN(out[p]) {
+			row[0], row[1], row[2] = 0, 0, 0
+			continue
+		}
+		f := s.transFeatures(s.ws, i, routes[p], straight)
+		row[0], row[1], row[2] = f[0], f[1], f[2]
+	}
+
+	// Phase 3: one batched product through the fuse MLP. NaN in out is
 	// the unreachable sentinel of the batch protocol, so a learned
 	// score that itself comes out non-finite (corrupt weights, a NaN
 	// that slipped past load validation, fault injection) must be
@@ -402,7 +472,7 @@ func (s *session) ScoreBatch(ct traj.CellTrajectory, i int, from, to []hmm.Candi
 	// feature — exactly the classical Eq. 3 exponential with β=500,
 	// already computed into the feature row — instead of silently
 	// reading as "unreachable" and breaking the chain.
-	logits := s.m.TransFuse.ApplyWS(s.ws, feat) // nPairs×2
+	logits := s.m.applyMLP(s.ws, s.m.TransFuse, feat) // nPairs×2
 	g := s.m.transGamma.W.W[0]
 	for p := 0; p < nPairs; p++ {
 		if math.IsNaN(out[p]) {

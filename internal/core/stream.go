@@ -115,7 +115,7 @@ func (m *Model) obsScoreBatchCtx(ws *nn.Workspace, tower cellular.TowerID, ctxRo
 			copy(row[:d], m.segEmb(cands[j].Seg))
 			copy(row[d:], ctxRow)
 		}
-		logits := m.ObsMLP.ApplyWS(ws, feat) // p×2
+		logits := m.applyMLP(ws, m.ObsMLP, feat) // p×2
 		for j := 0; j < p; j++ {
 			lr := logits.Row(j)
 			imp[j] = softmaxP1(lr[0], lr[1])
@@ -128,7 +128,7 @@ func (m *Model) obsScoreBatchCtx(ws *nn.Workspace, tower cellular.TowerID, ctxRo
 		row[1] = m.gaussDist(cands[j].Dist)
 		row[2] = m.Graph.CoOccurrenceNorm(tower, cands[j].Seg)
 	}
-	logits := m.ObsFuse.ApplyWS(ws, fuse) // p×2
+	logits := m.applyMLP(ws, m.ObsFuse, fuse) // p×2
 	for j := 0; j < p; j++ {
 		lr := logits.Row(j)
 		scores[j] = lr[1] - lr[0]

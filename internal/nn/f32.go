@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Float32 forward path for served models: a read-only single-precision
+// twin of an MLP's weights, applied with float32 arithmetic throughout
+// and widened back to float64 only at the output boundary.
+//
+// This path is APPROXIMATE. It exists for serving deployments that
+// trade the last ~7 decimal digits of score precision for throughput
+// (half the weight/activation memory traffic); it is never used by
+// training, the CLI, or any parity suite, and outputs are NOT
+// byte-comparable to the float64 path. The scheduler only enables it
+// behind an explicit opt-in (lhmm-serve -f32).
+
+// MLPF32 is the frozen float32 twin of an MLP. Build with NewMLPF32;
+// safe for concurrent use (all state is read-only after construction).
+type MLPF32 struct {
+	layers []linearF32
+	act    Activation
+	in     int
+	out    int
+}
+
+type linearF32 struct {
+	in, out int
+	w       []float32 // in×out row-major
+	b       []float32 // out
+}
+
+// NewMLPF32 snapshots m's weights as float32. The twin does not track
+// later weight updates; rebuild after training or reload.
+func NewMLPF32(m *MLP) *MLPF32 {
+	f := &MLPF32{act: m.Act, in: m.InDim(), out: m.OutDim()}
+	for _, l := range m.Layers {
+		lw, lb := l.W.W, l.B.W.W
+		lf := linearF32{
+			in:  lw.R,
+			out: lw.C,
+			w:   make([]float32, len(lw.W)),
+			b:   make([]float32, len(lb)),
+		}
+		for i, v := range lw.W {
+			lf.w[i] = float32(v)
+		}
+		for i, v := range lb {
+			lf.b[i] = float32(v)
+		}
+		f.layers = append(f.layers, lf)
+	}
+	return f
+}
+
+// OutDim returns the output width.
+func (m *MLPF32) OutDim() int { return m.out }
+
+// f32Scratch ping-pongs two float32 activation buffers across layers.
+type f32Scratch struct{ a, b []float32 }
+
+var f32Pool = sync.Pool{New: func() interface{} { return &f32Scratch{} }}
+
+func (s *f32Scratch) take(which *[]float32, n int) []float32 {
+	if cap(*which) < n {
+		*which = make([]float32, n)
+	}
+	return (*which)[:n]
+}
+
+// ApplyInto runs the float32 forward pass over x (n×in), widening the
+// final activations into dst (n×out). It panics on shape mismatch,
+// mirroring the float64 path's contract.
+func (m *MLPF32) ApplyInto(dst, x *Mat) {
+	if x.C != m.in || dst.R != x.R || dst.C != m.out {
+		panic(fmt.Sprintf("nn: MLPF32.ApplyInto: %d×%d through %d→%d into %d×%d",
+			x.R, x.C, m.in, m.out, dst.R, dst.C))
+	}
+	n := x.R
+	sc := f32Pool.Get().(*f32Scratch)
+	cur := sc.take(&sc.a, n*m.in)
+	for i, v := range x.W {
+		cur[i] = float32(v)
+	}
+	inDim := m.in
+	for li, l := range m.layers {
+		nxt := sc.take(&sc.b, n*l.out)
+		for r := 0; r < n; r++ {
+			xr := cur[r*inDim : (r+1)*inDim]
+			or := nxt[r*l.out : (r+1)*l.out]
+			copy(or, l.b)
+			for k, xv := range xr {
+				if xv == 0 {
+					continue
+				}
+				wr := l.w[k*l.out : (k+1)*l.out]
+				for j, wv := range wr {
+					or[j] += xv * wv
+				}
+			}
+		}
+		if li < len(m.layers)-1 {
+			applyActF32(m.act, nxt)
+		}
+		sc.a, sc.b = sc.b, sc.a
+		cur = nxt
+		inDim = l.out
+	}
+	for i, v := range cur[:n*m.out] {
+		dst.W[i] = float64(v)
+	}
+	f32Pool.Put(sc)
+}
+
+func applyActF32(a Activation, x []float32) {
+	switch a {
+	case ActTanh:
+		for i, v := range x {
+			x[i] = float32(math.Tanh(float64(v)))
+		}
+	case ActSigmoid:
+		for i, v := range x {
+			x[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		}
+	default: // ReLU
+		for i, v := range x {
+			if v < 0 {
+				x[i] = 0
+			}
+		}
+	}
+}

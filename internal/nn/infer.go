@@ -33,6 +33,12 @@ func (l *Linear) ApplyInto(dst, x *Mat) {
 	}
 }
 
+// OutDim returns the MLP's output width (columns of the last layer).
+func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].W.W.C }
+
+// InDim returns the MLP's input width (rows of the first layer weight).
+func (m *MLP) InDim() int { return m.Layers[0].W.W.R }
+
 // Apply runs the MLP forward without autodiff.
 func (m *MLP) Apply(x *Mat) *Mat {
 	for i, l := range m.Layers {
@@ -194,6 +200,45 @@ func (ak *AttKeys) QueryWS(ws *Workspace, query *Mat) (*Mat, []float64) {
 		}
 	}
 	return out, w
+}
+
+// QueryAllWS computes the attention read-out for every row of queries
+// (m×d) against the cached keys in one pass: the query projection
+// Q = queries·W_q is a single matrix product and the per-row
+// qdot/softmax/read-out mirrors QueryWS's arithmetic order exactly, so
+// row r of the result is bit-identical to QueryWS over queries row r
+// alone (MatMulInto accumulates each output row independently). The
+// returned m×d matrix is owned by ws.
+func (ak *AttKeys) QueryAllWS(ws *Workspace, queries *Mat) *Mat {
+	h := ak.att.Wq.W.C
+	q := ws.Take(queries.R, h)
+	MatMulInto(q, queries, ak.att.Wq.W)
+	wv := ak.att.Wv.W.W
+	n := ak.kv.R
+	w := ws.TakeVec(n)
+	out := ws.Take(queries.R, ak.kv.C)
+	for r := 0; r < queries.R; r++ {
+		var qdot float64
+		for j, v := range q.Row(r) {
+			qdot += math.Tanh(v) * wv[j]
+		}
+		for i, kd := range ak.kdot {
+			w[i] = qdot + kd
+		}
+		softmaxInto(w, w)
+		orow := out.Row(r)
+		for j := range orow {
+			orow[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			row := ak.kv.Row(i)
+			wi := w[i]
+			for j, v := range row {
+				orow[j] += wi * v
+			}
+		}
+	}
+	return out
 }
 
 // ApplyInto computes the attention read-out into caller-owned storage:

@@ -123,6 +123,35 @@ func TestAttKeysQueryMatchesApply(t *testing.T) {
 	}
 }
 
+// TestAttKeysQueryAllMatchesQuery pins the multi-row read-out contract:
+// row r of QueryAllWS is bit-identical to QueryWS over that row alone
+// (the batched roadProb fill in core relies on this to stay equal to
+// the scalar path).
+func TestAttKeysQueryAllMatchesQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	a := NewAttention("a", 6, 4, rng)
+	kv := NewMat(11, 6)
+	kv.Xavier(rng)
+	ak := a.PrecomputeKeys(kv)
+	qs := NewMat(7, 6)
+	qs.Xavier(rng)
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	ws.Reset()
+	all := ak.QueryAllWS(ws, qs)
+	got := append([]float64(nil), all.W...)
+	for r := 0; r < qs.R; r++ {
+		ws.Reset()
+		q := &Mat{R: 1, C: qs.C, W: qs.Row(r)}
+		want, _ := ak.QueryWS(ws, q)
+		for j, w := range want.W {
+			if g := got[r*all.C+j]; g != w {
+				t.Fatalf("row %d col %d: QueryAllWS %v != QueryWS %v", r, j, g, w)
+			}
+		}
+	}
+}
+
 // TestBatchedInferenceZeroAllocs pins the batched-path contract: after
 // warmup, MLP.ApplyWS and Attention.ApplyWS run without a single heap
 // allocation.

@@ -1,0 +1,7 @@
+//go:build race
+
+package nn
+
+// raceEnabled reports whether the race detector is active; alloc-pinned
+// tests skip under it because instrumentation changes pool behavior.
+const raceEnabled = true

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// schedConfig is the batching setup the serving tests run under: a
+// window long enough that concurrent requests actually coalesce.
+func schedConfig() sched.Config {
+	return sched.Config{Window: 2 * time.Millisecond, MaxRows: 512, Workers: 4, MemoBytes: 8 << 20}
+}
+
+// newTestHTTP exposes an already-built Server over httptest with
+// cleanup (testServer only covers the static-registry case).
+func newTestHTTP(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+// TestServeBatchingMatchParity pins the headline guarantee: /v1/match
+// bodies served through the float64 micro-batching scheduler are
+// byte-identical to bodies served with batching off, including under
+// enough concurrency that multi-request batches actually form.
+func TestServeBatchingMatchParity(t *testing.T) {
+	ds, m := fixture(t)
+	trips := ds.TestTrips()
+
+	// Batching off: reference bodies.
+	_, tsOff := testServer(t, m, Config{Workers: 8})
+	want := make([][]byte, len(trips))
+	for i, tr := range trips {
+		resp, body := postJSON(t, tsOff.URL+"/v1/match", PointsRequest(tr.Cell))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("off match: %d: %s", resp.StatusCode, body)
+		}
+		want[i] = body
+	}
+
+	// Batching on: same model weights (fresh instance, same seed), the
+	// scheduler installed as executor.
+	_, mOn := fixture(t)
+	s := sched.New(schedConfig())
+	mOn.Exec = s
+	_, tsOn := testServer(t, mOn, Config{Workers: 8, Sched: s})
+
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		for i, tr := range trips {
+			wg.Add(1)
+			go func(i int, req MatchRequest) {
+				defer wg.Done()
+				resp, body := postJSON(t, tsOn.URL+"/v1/match", req)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("on match trip %d: %d: %s", i, resp.StatusCode, body)
+					return
+				}
+				if !bytes.Equal(body, want[i]) {
+					t.Errorf("trip %d: batched body differs from direct", i)
+				}
+			}(i, PointsRequest(tr.Cell))
+		}
+		wg.Wait()
+	}
+}
+
+// TestServeBatchingStreamFinishParity: a streaming session's finish
+// body must also be byte-identical under batching.
+func TestServeBatchingStreamFinishParity(t *testing.T) {
+	ds, m := fixture(t)
+	tr := ds.TestTrips()[0]
+
+	finish := func(ts string) []byte {
+		resp, body := postJSON(t, ts+"/v1/sessions", SessionRequest{})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("create: %d: %s", resp.StatusCode, body)
+		}
+		var sess SessionResponse
+		if err := json.Unmarshal(body, &sess); err != nil {
+			t.Fatal(err)
+		}
+		resp, body = postJSON(t, ts+"/v1/sessions/"+sess.ID+"/points", PushRequest{Points: PointsRequest(tr.Cell).Points})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("push: %d: %s", resp.StatusCode, body)
+		}
+		resp, body = postJSON(t, ts+"/v1/sessions/"+sess.ID+"/finish", struct{}{})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("finish: %d: %s", resp.StatusCode, body)
+		}
+		return body
+	}
+
+	_, tsOff := testServer(t, m, Config{DefaultLag: 2})
+	want := finish(tsOff.URL)
+
+	_, mOn := fixture(t)
+	s := sched.New(schedConfig())
+	mOn.Exec = s
+	_, tsOn := testServer(t, mOn, Config{DefaultLag: 2, Sched: s})
+	got := finish(tsOn.URL)
+
+	if !bytes.Equal(got, want) {
+		t.Fatalf("batched streaming finish differs from direct:\noff: %s\non:  %s", want, got)
+	}
+}
+
+// TestServeReloadMidBatch fires POST /v1/reload concurrently with a
+// stream of batched match requests against a registry that flips
+// between two models with different weights. Snapshot pinning must
+// hold: every response byte-equals one model's direct output — a body
+// scored partly on old and partly on new weights would match neither.
+func TestServeReloadMidBatch(t *testing.T) {
+	ds, mA := fixture(t)
+	tr := ds.TestTrips()[0]
+
+	// Model B: same skeleton, different seed — visibly different scores.
+	cfgB := fixCfg
+	cfgB.Seed = 99
+	mB, err := core.New(fixDS, fixDS.TrainTrips(), cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mB.RefreshEmbeddings()
+
+	// Reference bodies, computed directly (parity makes them also the
+	// batched bodies).
+	encode := func(m *core.Model) []byte {
+		res, err := m.MatchContext(context.Background(), tr.Cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(ResultJSON(res)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	wantA, wantB := encode(mA), encode(mB)
+	if bytes.Equal(wantA, wantB) {
+		t.Fatal("fixture models agree; reload test has no signal")
+	}
+
+	s := sched.New(schedConfig())
+	mA.Exec = s
+	mB.Exec = s
+	var flip atomic.Int64
+	reg := NewRegistry(func() (*core.Model, error) {
+		if flip.Add(1)%2 == 0 {
+			return mB, nil
+		}
+		return mA, nil
+	})
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(reg, Config{Workers: 8, Sched: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestHTTP(t, srv)
+
+	req := PointsRequest(tr.Cell)
+	stop := make(chan struct{})
+	var reloads sync.WaitGroup
+	reloads.Add(1)
+	go func() {
+		defer reloads.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, body := postJSON(t, ts.URL+"/v1/reload", struct{}{})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("reload: %d: %s", resp.StatusCode, body)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				resp, body := postJSON(t, ts.URL+"/v1/match", req)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("match: %d: %s", resp.StatusCode, body)
+					return
+				}
+				if !bytes.Equal(body, wantA) && !bytes.Equal(body, wantB) {
+					t.Error("response matches neither snapshot: weights mixed mid-batch")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	reloads.Wait()
+}

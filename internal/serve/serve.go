@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hmm"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/traj"
 )
 
@@ -83,6 +84,12 @@ type Config struct {
 	// Dir, in-flight sessions are periodically snapshotted to disk and
 	// restored on boot. Zero Dir disables checkpointing entirely.
 	Checkpoint CheckpointConfig
+	// Sched, when set, is the cross-request micro-batching scheduler
+	// whose lifecycle the server owns: Close flushes and stops it after
+	// the last in-flight match. The loader installs it as each loaded
+	// model's Exec — the server itself never routes through it directly,
+	// so a model without an executor serves unchanged.
+	Sched *sched.Scheduler
 }
 
 func (c *Config) withDefaults() Config {
@@ -249,12 +256,18 @@ func (s *Server) Drain(ctx context.Context) error {
 	return nil
 }
 
-// Close releases background resources (the session janitor and the
-// checkpoint writer). Call after Drain.
+// Close releases background resources (the session janitor, the
+// checkpoint writer, and the batching scheduler). Call after Drain —
+// the scheduler flushes its open micro-batches on Close, and any
+// straggler submission after that falls back to direct scoring, so no
+// request is ever stranded.
 func (s *Server) Close() {
 	s.sess.Stop()
 	if s.ckpt != nil {
 		s.ckpt.Stop()
+	}
+	if s.cfg.Sched != nil {
+		s.cfg.Sched.Close()
 	}
 }
 
