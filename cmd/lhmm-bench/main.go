@@ -394,6 +394,7 @@ func compareRuns(w io.Writer, base, fresh *output) error {
 		}
 		armDelta("serve_live", b.Live, f.Live)
 		armDelta("serve_off", b.Off, f.Off)
+		armDelta("serve_shadow_on", b.ShadowOn, f.ShadowOn)
 		armDelta("serve_on", b.On, f.On)
 		if b.SpeedupX > 0 && f.SpeedupX > 0 {
 			fmt.Fprintf(w, "  %-22s %7.2fx    -> %7.2fx   %s\n", "serve_speedup",

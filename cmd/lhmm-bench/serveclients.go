@@ -44,15 +44,21 @@ type serveClientsResult struct {
 	// Off/On/OnF32 are the measured arms; external runs fill only Live.
 	// OnF32 is the approximate float32 scoring mode (-f32): its bodies
 	// are NOT byte-identical to float64 and are excluded from the parity
-	// digest.
-	Off   *serveArm `json:"batching_off,omitempty"`
-	On    *serveArm `json:"batching_on,omitempty"`
-	OnF32 *serveArm `json:"batching_on_f32,omitempty"`
-	Live  *serveArm `json:"live,omitempty"`
+	// digest. ShadowOn is batching-off with candidate-model shadow
+	// mirroring enabled — serving-path bytes stay in the parity check,
+	// so the arm pins both shadow overhead and shadow transparency.
+	Off      *serveArm `json:"batching_off,omitempty"`
+	On       *serveArm `json:"batching_on,omitempty"`
+	OnF32    *serveArm `json:"batching_on_f32,omitempty"`
+	ShadowOn *serveArm `json:"shadow_on,omitempty"`
+	Live     *serveArm `json:"live,omitempty"`
 	// SpeedupX is On.ThroughputRPS / Off.ThroughputRPS (self-hosted
 	// runs only); SpeedupF32X the same for the float32 arm.
-	SpeedupX    float64 `json:"speedup_x,omitempty"`
-	SpeedupF32X float64 `json:"speedup_f32_x,omitempty"`
+	// ShadowFactorX is ShadowOn.ThroughputRPS / Off.ThroughputRPS —
+	// the serving-path cost of mirroring every request (sample 1).
+	SpeedupX      float64 `json:"speedup_x,omitempty"`
+	SpeedupF32X   float64 `json:"speedup_f32_x,omitempty"`
+	ShadowFactorX float64 `json:"shadow_factor_x,omitempty"`
 	// MeanBatchRows is the average rows per executed scheduler batch in
 	// the On arm (from sched.rows / sched.batches deltas).
 	MeanBatchRows float64 `json:"mean_batch_rows,omitempty"`
@@ -138,7 +144,7 @@ func runServeClients(scale float64, trips, clients, dim int, url string, window,
 		return m, nil
 	}
 
-	startServer := func(s *sched.Scheduler) (*serve.Server, *httptest.Server, error) {
+	startServer := func(s *sched.Scheduler, shadowOn bool) (*serve.Server, *httptest.Server, error) {
 		m, err := newModel()
 		if err != nil {
 			return nil, nil, err
@@ -150,7 +156,19 @@ func runServeClients(scale float64, trips, clients, dim int, url string, window,
 		if err := reg.Reload(); err != nil {
 			return nil, nil, err
 		}
-		srv, err := serve.New(reg, serve.Config{Workers: clients, Queue: 4 * clients, Sched: s})
+		cfg := serve.Config{Workers: clients, Queue: 4 * clients, Sched: s}
+		if shadowOn {
+			// Identical-weights candidate (newModel is deterministic per
+			// seed): comparisons all agree, but every mirrored request pays
+			// the full candidate match — the realistic shadow cost.
+			cfg.Shadow = serve.ShadowConfig{
+				Loader:    func(string) (*lhmm.Model, error) { return newModel() },
+				ModelPath: "bench-candidate",
+				Sample:    1,
+				Queue:     16384,
+			}
+		}
+		srv, err := serve.New(reg, cfg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -160,7 +178,7 @@ func runServeClients(scale float64, trips, clients, dim int, url string, window,
 	res.BatchWindowMS = float64(window) / float64(time.Millisecond)
 
 	// Arm 1: batching off.
-	srvOff, tsOff, err := startServer(nil)
+	srvOff, tsOff, err := startServer(nil, false)
 	if err != nil {
 		return nil, "", err
 	}
@@ -175,9 +193,30 @@ func runServeClients(scale float64, trips, clients, dim int, url string, window,
 	tsOff.Close()
 	srvOff.Close()
 
+	// Arm 1b: shadow mirroring on (batching off). The parity digest must
+	// match the shadow-off arm — shadow scoring is observable only via
+	// its own endpoints, never in serving-path bytes.
+	srvSh, tsSh, err := startServer(nil, true)
+	if err != nil {
+		return nil, "", err
+	}
+	digestShadow, err := parityDigest(tsSh.URL, bodies)
+	if err != nil {
+		return nil, "", err
+	}
+	res.ShadowOn, err = driveClients(tsSh.URL, bodies, clients, dur)
+	if err != nil {
+		return nil, "", err
+	}
+	tsSh.Close()
+	srvSh.Close()
+	if digestShadow != digestOff {
+		return nil, "", fmt.Errorf("byte-parity violation: shadow-on digest %s != shadow-off %s", digestShadow, digestOff)
+	}
+
 	// Arm 2: batching on (float64 — byte parity holds).
 	scheduler := sched.New(sched.Config{Window: window, MemoBytes: 64 << 20})
-	srvOn, tsOn, err := startServer(scheduler)
+	srvOn, tsOn, err := startServer(scheduler, false)
 	if err != nil {
 		return nil, "", err
 	}
@@ -197,7 +236,7 @@ func runServeClients(scale float64, trips, clients, dim int, url string, window,
 	// Arm 3: batching on, float32 scoring (approximate — measured for
 	// throughput, excluded from the parity check).
 	schedF32 := sched.New(sched.Config{Window: window, F32: true, MemoBytes: 64 << 20})
-	srvF32, tsF32, err := startServer(schedF32)
+	srvF32, tsF32, err := startServer(schedF32, false)
 	if err != nil {
 		return nil, "", err
 	}
@@ -215,6 +254,9 @@ func runServeClients(scale float64, trips, clients, dim int, url string, window,
 	if res.Off.ThroughputRPS > 0 {
 		res.SpeedupX = res.On.ThroughputRPS / res.Off.ThroughputRPS
 		res.SpeedupF32X = res.OnF32.ThroughputRPS / res.Off.ThroughputRPS
+		if res.ShadowOn != nil {
+			res.ShadowFactorX = res.ShadowOn.ThroughputRPS / res.Off.ThroughputRPS
+		}
 	}
 	if db := after.Counters["sched.batches"] - before.Counters["sched.batches"]; db > 0 {
 		res.MeanBatchRows = float64(after.Counters["sched.rows"]-before.Counters["sched.rows"]) / float64(db)
@@ -329,8 +371,13 @@ func renderServeClients(r *serveClientsResult) string {
 	}
 	arm("live:", r.Live)
 	arm("batching off:", r.Off)
+	arm("shadow on:", r.ShadowOn)
 	arm("batching on:", r.On)
 	arm("on + f32:", r.OnF32)
+	if r.ShadowFactorX > 0 {
+		fmt.Fprintf(&b, "shadow factor: %.2fx serving throughput with full mirroring (identical-weights candidate)\n",
+			r.ShadowFactorX)
+	}
 	if r.SpeedupX > 0 {
 		fmt.Fprintf(&b, "speedup: %.2fx f64 (byte-identical), %.2fx f32 (approximate); window %.1fms, mean batch %.1f rows, %d deduped, %d memo hits\n",
 			r.SpeedupX, r.SpeedupF32X, r.BatchWindowMS, r.MeanBatchRows, r.DedupedRows, r.MemoHits)

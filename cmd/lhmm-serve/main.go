@@ -15,6 +15,8 @@
 //	GET    /v1/sessions/{id}          session progress counters
 //	DELETE /v1/sessions/{id}          discard a session
 //	POST   /v1/reload                 hot-reload model weights from -model
+//	GET    /v1/shadow                 shadow-scoring agreement report + promotion verdict
+//	POST   /v1/shadow/load            load/replace the shadow candidate (body: {"path": "..."})
 //	GET    /v1/quality                windowed quality/SLO report
 //	GET    /v1/drift                  learned-score drift vs the -drift-baseline (PSI/KL per signal)
 //	GET    /healthz /readyz           liveness, readiness (with quality detail)
@@ -49,6 +51,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/serve"
+	"repro/internal/shadow"
 	"repro/internal/traj"
 )
 
@@ -94,6 +97,15 @@ func run(args []string) error {
 	batchWorkers := fs.Int("batch-workers", 0, "micro-batch executor goroutines (0 = GOMAXPROCS)")
 	f32 := fs.Bool("f32", false, "score micro-batches on the approximate float32 path (NOT byte-identical; excluded from parity)")
 	batchMemo := fs.Int("batch-memo", 64<<20, "byte budget of the cross-batch scored-row memo (0 disables; hits are bit-identical to recomputing)")
+	shadowModel := fs.String("shadow-model", "", "candidate model weights to shadow-score against live traffic (also loadable at runtime via POST /v1/shadow/load)")
+	shadowSample := fs.Float64("shadow-sample", 1, "fraction of completed match requests and sessions mirrored through the shadow candidate in [0,1]")
+	shadowWorkers := fs.Int("shadow-workers", 2, "shadow mirror worker goroutines")
+	shadowQueue := fs.Int("shadow-queue", 256, "shadow mirror queue depth; full queue drops samples, never delays serving")
+	shadowCaptureOut := fs.String("shadow-capture-out", "", "write disagreeing mirrored requests as capture JSONL to this file (for lhmm replay forensics)")
+	shadowMinSamples := fs.Int("shadow-min-samples", 50, "mirrored samples required before the /v1/shadow verdict leaves insufficient_data")
+	shadowMinAgreement := fs.Float64("shadow-min-agreement", 0.98, "minimum per-point agreement rate for a ready verdict")
+	shadowMaxRegression := fs.Float64("shadow-max-quality-regression", 0.05, "max allowed increase of candidate degraded/gap/failure rates over the active model")
+	sloShadowAgreement := fs.Float64("slo-shadow-agreement", 0, "shadow agreement floor before /readyz reports a shadow_divergence quality detail (0 disables)")
 	of := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -203,6 +215,42 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "lhmm-serve: capturing matches to %s (sample %.2f)\n",
 			*captureOut, *captureSample)
 	}
+	// The shadow loader mirrors the registry loader but opens an
+	// arbitrary candidate path and never attaches the serving scheduler
+	// (mirrored work must not ride live micro-batches).
+	shadowLoader := func(path string) (*lhmm.Model, error) {
+		cfg := lhmm.DefaultConfig()
+		cfg.Dim = *dim
+		cfg.K = *k
+		cfg.Seed = *seed
+		cfg.Parallel = *parallel
+		cfg.OnBreak = breakPolicy
+		cfg.Sanitize = sanitizeMode
+		m, err := lhmm.NewModel(ds, ds.TrainTrips(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		wf, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer wf.Close()
+		if err := m.Load(wf); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	var shadowCapture *serve.Capture
+	if *shadowCaptureOut != "" {
+		// Sample rate 1: the mirror already sampled; every disagreement
+		// that reaches the capture must be persisted.
+		shadowCapture, err = serve.OpenCaptureFile(*shadowCaptureOut, 1)
+		if err != nil {
+			return err
+		}
+		defer shadowCapture.Close() //nolint:errcheck // exiting anyway
+		fmt.Fprintf(os.Stderr, "lhmm-serve: capturing shadow disagreements to %s\n", *shadowCaptureOut)
+	}
 
 	srv, err := serve.New(reg, serve.Config{
 		Workers:      *workers,
@@ -216,18 +264,32 @@ func run(args []string) error {
 			Interval: *checkpointInterval,
 		},
 		Quality: obs.QualityConfig{
-			Window:          *sloWindow,
-			MaxDegradedRate: *sloDegraded,
-			MaxGapRate:      *sloGap,
-			MaxEmptyRate:    *sloEmpty,
-			MaxShedRate:     *sloShed,
-			MaxP99:          *sloP99,
-			MaxDriftPSI:     *sloDriftPSI,
+			Window:             *sloWindow,
+			MaxDegradedRate:    *sloDegraded,
+			MaxGapRate:         *sloGap,
+			MaxEmptyRate:       *sloEmpty,
+			MaxShedRate:        *sloShed,
+			MaxP99:             *sloP99,
+			MaxDriftPSI:        *sloDriftPSI,
+			MinShadowAgreement: *sloShadowAgreement,
 		},
 		DriftBaseline:     baseline,
 		DriftBaselinePath: *driftBaseline,
 		Capture:           capture,
 		Sched:             scheduler,
+		Shadow: serve.ShadowConfig{
+			Loader:    shadowLoader,
+			ModelPath: *shadowModel,
+			Sample:    *shadowSample,
+			Workers:   *shadowWorkers,
+			Queue:     *shadowQueue,
+			Capture:   shadowCapture,
+			Thresholds: shadow.Thresholds{
+				MinSamples:           *shadowMinSamples,
+				MinAgreement:         *shadowMinAgreement,
+				MaxQualityRegression: *shadowMaxRegression,
+			},
+		},
 	})
 	if err != nil {
 		return err
@@ -285,6 +347,10 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "lhmm-serve: micro-batching scoring (window %s, %s)\n",
 			*batchWindow, prec)
+	}
+	if *shadowModel != "" {
+		fmt.Fprintf(os.Stderr, "lhmm-serve: shadow-scoring candidate %s (sample %.2f)\n",
+			*shadowModel, *shadowSample)
 	}
 
 	select {

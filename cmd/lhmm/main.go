@@ -31,6 +31,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/shadow"
 	"repro/internal/synth"
 	"repro/internal/traj"
 )
@@ -503,7 +504,10 @@ func readMatchRequest(path string) (*serve.MatchRequest, error) {
 // model and compares the re-encoded responses with the captured
 // digests. Identical digests prove the serving stack still answers
 // byte-for-byte what it answered at capture time — the regression
-// check for model rollouts and scoring refactors.
+// check for model rollouts and scoring refactors. With -against, every
+// record is additionally replayed through a second model and the same
+// decision-level agreement report as GET /v1/shadow is printed — the
+// offline half of the shadow-scoring loop.
 func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	data := fs.String("data", "dataset.json", "dataset file")
@@ -512,6 +516,10 @@ func cmdReplay(args []string) error {
 	k := fs.Int("k", 30, "candidates per point")
 	seed := fs.Int64("seed", 1, "seed the model was trained with")
 	capturesPath := fs.String("captures", "-", "capture JSONL file from lhmm-serve -capture-out ('-' for stdin)")
+	against := fs.String("against", "", "candidate model weights: replay through both models and print the /v1/shadow agreement report")
+	minSamples := fs.Int("min-samples", 1, "promotion-verdict sample floor for -against (offline runs have exactly the capture's records)")
+	minAgreement := fs.Float64("min-agreement", 0.98, "promotion-verdict agreement floor for -against")
+	maxRegression := fs.Float64("max-quality-regression", 0.05, "promotion-verdict quality-regression ceiling for -against")
 	tolerate := fs.Bool("tolerate", false, "report diffs but exit 0 (shadow-scoring mode)")
 	verbose := fs.Bool("v", false, "print one line per replayed record")
 	cleanup, err := parseWithObs(fs, args)
@@ -543,6 +551,14 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
+	var candModel *lhmm.Model
+	var stats *shadow.Stats
+	if *against != "" {
+		if candModel, err = loadModel(ds, *against, *dim, *k, *seed); err != nil {
+			return fmt.Errorf("against model: %w", err)
+		}
+		stats = shadow.NewStats()
+	}
 
 	identical, diffs, failed := 0, 0, 0
 	for i := range recs {
@@ -569,6 +585,11 @@ func cmdReplay(args []string) error {
 			mm.Cfg.K = rec.Config.K
 		}
 		mm.Cfg.Shortcuts = rec.Config.Shortcuts
+		if stats != nil {
+			// Explain artifacts feed the margin deltas; they are not part
+			// of the wire encoding, so the digest check is unaffected.
+			mm.Cfg.Explain = true
+		}
 		ct, err := rec.Request.Trajectory(ds.Cells)
 		if err != nil {
 			failed++
@@ -584,6 +605,35 @@ func cmdReplay(args []string) error {
 		var buf bytes.Buffer
 		if err := json.NewEncoder(&buf).Encode(serve.ResultJSON(res)); err != nil {
 			return err
+		}
+		if stats != nil {
+			// Candidate replay under the same captured effective config —
+			// only the weights differ, exactly like the live mirror.
+			cm := *candModel
+			cm.Cfg = mm.Cfg
+			cRes, cErr := cm.Match(ct)
+			var cmp shadow.Comparison
+			if cErr != nil {
+				cmp = shadow.Comparison{
+					Points:         len(res.Matched),
+					ActiveDegraded: res.Degraded > 0,
+					ActiveGapped:   len(res.Gaps) > 0,
+					CandErr:        cErr,
+					ActiveRes:      res,
+					ActiveBody:     buf.Bytes(),
+				}
+			} else {
+				var cbuf bytes.Buffer
+				if err := json.NewEncoder(&cbuf).Encode(serve.ResultJSON(cRes)); err != nil {
+					return err
+				}
+				cmp = shadow.Compare(res, cRes, buf.Bytes(), cbuf.Bytes())
+			}
+			stats.Record(&cmp)
+			if *verbose && cmp.Disagrees() {
+				fmt.Printf("replay %s: candidate disagrees (%d/%d points agreed)\n",
+					id, cmp.Agreed, cmp.Points)
+			}
 		}
 		sum := sha256.Sum256(buf.Bytes())
 		got := hex.EncodeToString(sum[:])
@@ -601,6 +651,20 @@ func cmdReplay(args []string) error {
 	}
 	fmt.Printf("replayed %d captures: %d identical, %d diffs, %d failed\n",
 		len(recs), identical, diffs, failed)
+	if stats != nil {
+		rep := stats.Report(shadow.Thresholds{
+			MinSamples:           *minSamples,
+			MinAgreement:         *minAgreement,
+			MaxQualityRegression: *maxRegression,
+		})
+		rep.Enabled = true
+		rep.ModelPath = *against
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shadow report (%s vs %s):\n%s\n", *modelPath, *against, out)
+	}
 	if (diffs > 0 || failed > 0) && !*tolerate {
 		return fmt.Errorf("%d of %d captures did not reproduce", diffs+failed, len(recs))
 	}

@@ -71,6 +71,14 @@ type Session struct {
 	ckptSeq    atomic.Uint64
 	ckptQueued atomic.Bool
 	finished   atomic.Bool
+
+	// Shadow mirroring (zero unless the session was sampled at create):
+	// the model+lag the session scores with, and every pushed point,
+	// buffered so finish can replay the whole stream through the shadow
+	// candidate. Guarded by mu like the matcher itself.
+	shadowModel *core.Model
+	shadowLag   int
+	shadowPts   traj.CellTrajectory
 }
 
 func (s *Session) touch(now time.Time) { s.lastNano.Store(now.UnixNano()) }
@@ -121,6 +129,11 @@ func (s *Session) push(pts traj.CellTrajectory, now time.Time) (fin []hmm.Candid
 	// error are absorbed), so the session is dirty either way. One
 	// atomic add; the scoring path itself is untouched.
 	s.seq.Add(1)
+	if s.shadowModel != nil {
+		// Buffer the raw points; the mirrored matcher replays them and
+		// deterministically reproduces any mid-stream error too.
+		s.shadowPts = append(s.shadowPts, pts...)
+	}
 	before := s.sm.Sanitize().Dropped()
 	degBefore := s.sm.Degraded()
 	for i, p := range pts {
@@ -146,6 +159,22 @@ func (s *Session) finish() (MatchResponse, error) {
 	s.finished.Store(true)
 	s.sm.Flush()
 	return streamResultJSON(s.sm), nil
+}
+
+// enableShadow marks the session for shadow mirroring at finish.
+func (s *Session) enableShadow(m *core.Model, lag int) {
+	s.mu.Lock()
+	s.shadowModel = m
+	s.shadowLag = lag
+	s.mu.Unlock()
+}
+
+// shadowJob hands out the buffered replay inputs (nil model when the
+// session was not sampled).
+func (s *Session) shadowJob() (*core.Model, int, traj.CellTrajectory) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shadowModel, s.shadowLag, s.shadowPts
 }
 
 // status snapshots the session's progress counters.

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hmm"
+	"repro/internal/obs"
+	"repro/internal/shadow"
+	"repro/internal/traj"
+)
+
+// shadowJob packages a completed batch match for mirroring: the raw
+// trajectory, the effective (per-request-overridden) model it ran
+// under, and the original request for disagreement capture.
+func shadowJob(ct traj.CellTrajectory, m *core.Model, req *MatchRequest) shadow.Job {
+	return shadow.Job{Trajectory: ct, Model: m, Meta: req}
+}
+
+// Shadow candidate lifecycle telemetry (the comparison instruments
+// live in the shadow package).
+var (
+	obsShadowLoads    = obs.Default.Counter("shadow.loads")
+	obsShadowLoadErrs = obs.Default.Counter("shadow.load.errors")
+	obsShadowLoaded   = obs.Default.Gauge("shadow.loaded")
+)
+
+// ShadowConfig configures candidate-model shadow scoring: a second
+// model mirrored against live traffic to build a promotion-readiness
+// verdict before it replaces the serving model via hot-reload.
+type ShadowConfig struct {
+	// Loader opens a candidate model from a weights path; lhmm-serve
+	// passes the same dataset-resident loader the reload registry uses.
+	// Non-nil enables the /v1/shadow endpoints (a candidate can then be
+	// loaded at runtime even if none was given at boot).
+	Loader func(path string) (*core.Model, error)
+	// ModelPath, when non-empty, is loaded at boot. A boot load failure
+	// logs a warning and leaves shadow idle — it never stops the server
+	// from starting, mirroring the reload registry's
+	// corrupt-weights-keep-serving contract.
+	ModelPath string
+	// Sample is the fraction of completed match requests (and created
+	// sessions) mirrored through the candidate (default 1).
+	Sample float64
+	// Workers/Queue bound the mirror pool (defaults 2/256); a full
+	// queue drops samples rather than delaying the serving path.
+	Workers int
+	Queue   int
+	// Timeout caps each mirrored match (default 30s).
+	Timeout time.Duration
+	// Capture, when set, records every disagreeing mirrored batch
+	// request in the lhmm-capture format so `lhmm replay` can do
+	// forensics on exactly the inputs where the models diverge. Open it
+	// with sample rate 1 — the mirror already sampled.
+	Capture *Capture
+	// Thresholds gate the GET /v1/shadow promotion verdict.
+	Thresholds shadow.Thresholds
+}
+
+// ShadowLoadRequest is the POST /v1/shadow/load body. An empty body
+// (or empty path) reloads the current candidate path from disk.
+type ShadowLoadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// shadowState is the server's candidate-model holder plus the mirror
+// that scores it. It deliberately does not reuse the serving Registry:
+// candidate loads must not pollute the lhmm_serve_reloads_* series or
+// readiness, and the failure contract is simpler (a bad candidate
+// leaves the previous candidate — or nothing — in place).
+type shadowState struct {
+	cfg    ShadowConfig
+	stats  *shadow.Stats
+	mirror *shadow.Mirror
+
+	cand    atomic.Pointer[core.Model]
+	loading atomic.Bool // serializes loads, same CAS pattern as Registry
+
+	mu       sync.Mutex
+	path     string
+	loadedAt time.Time
+}
+
+func newShadowState(cfg ShadowConfig) *shadowState {
+	st := &shadowState{cfg: cfg, stats: shadow.NewStats()}
+	st.mirror = shadow.NewMirror(shadow.Config{
+		Candidate:    st.candidate,
+		Sample:       cfg.Sample,
+		Workers:      cfg.Workers,
+		Queue:        cfg.Queue,
+		Timeout:      cfg.Timeout,
+		Encode:       encodeMatchBody,
+		EncodeStream: encodeStreamBody,
+		Stats:        st.stats,
+		OnCompared:   st.onCompared,
+	})
+	return st
+}
+
+func (st *shadowState) candidate() *core.Model { return st.cand.Load() }
+
+// encodeMatchBody produces the exact bytes handleMatch writes for a
+// plain (non-debug) response: Encoder output to a buffer and to the
+// wire is identical, so digest equality is over client-visible bytes.
+func encodeMatchBody(res *hmm.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(ResultJSON(res)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// encodeStreamBody produces the exact bytes handleSessionFinish writes
+// for a finished session.
+func encodeStreamBody(sm *hmm.StreamMatcher) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(streamResultJSON(sm)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// onCompared persists disagreeing batch requests to the capture file.
+// Streaming disagreements are counted but not captured — the capture
+// format records whole-trajectory requests.
+func (st *shadowState) onCompared(job shadow.Job, cmp *shadow.Comparison) {
+	if st.cfg.Capture == nil || job.Stream || !cmp.Disagrees() {
+		return
+	}
+	req, ok := job.Meta.(*MatchRequest)
+	if !ok || cmp.ActiveRes == nil {
+		return
+	}
+	st.cfg.Capture.Record(req, job.Model, cmp.ActiveRes, cmp.ActiveBody)
+}
+
+// load opens, validates, and atomically installs a candidate model.
+// Any failure keeps the previous candidate (or none) scoring — the
+// serving model is never involved.
+func (st *shadowState) load(path string) error {
+	if path == "" {
+		return errors.New("serve: shadow load: no model path")
+	}
+	if !st.loading.CompareAndSwap(false, true) {
+		return errors.New("serve: shadow load already in progress")
+	}
+	defer st.loading.Store(false)
+	m, err := st.cfg.Loader(path)
+	if err != nil {
+		obsShadowLoadErrs.Inc()
+		return fmt.Errorf("serve: shadow load: %w", err)
+	}
+	if m == nil || m.Embeddings() == nil {
+		obsShadowLoadErrs.Inc()
+		return errors.New("serve: shadow load: model has no frozen embeddings")
+	}
+	// Fresh candidate, fresh evidence: the verdict must describe this
+	// candidate only. Cumulative shadow.* counters keep running.
+	st.stats.Reset()
+	st.cand.Store(m)
+	st.mu.Lock()
+	st.path = path
+	st.loadedAt = time.Now()
+	st.mu.Unlock()
+	obsShadowLoads.Inc()
+	obsShadowLoaded.Set(1)
+	obs.Logger().Info("serve: shadow candidate loaded", "path", path)
+	return nil
+}
+
+// currentPath returns the installed candidate's path (falling back to
+// the boot-configured one for retry-after-boot-failure loads).
+func (st *shadowState) currentPath() string {
+	st.mu.Lock()
+	p := st.path
+	st.mu.Unlock()
+	if p == "" {
+		p = st.cfg.ModelPath
+	}
+	return p
+}
+
+// report builds the GET /v1/shadow body.
+func (st *shadowState) report() shadow.Report {
+	r := st.stats.Report(st.cfg.Thresholds)
+	if st.cand.Load() == nil {
+		r.Enabled = false
+		r.Verdict = shadow.VerdictDisabled
+		r.Reasons = nil
+		return r
+	}
+	r.Enabled = true
+	st.mu.Lock()
+	r.ModelPath = st.path
+	if !st.loadedAt.IsZero() {
+		r.LoadedAt = st.loadedAt.UTC().Format(time.RFC3339)
+	}
+	st.mu.Unlock()
+	return r
+}
+
+// shadowProbeTTL bounds how often the quality monitor recomputes the
+// agreement rate; like the drift probe, the cached value makes the
+// under-lock call O(1).
+const shadowProbeTTL = 5 * time.Second
+
+// shadowProbe adapts the shadow aggregate to QualityConfig.ShadowProbe.
+// Below the verdict's min-samples floor it reports 1.0 (no evidence of
+// divergence), so a single early disagreement cannot flip /readyz
+// detail.
+type shadowProbe struct {
+	st  *shadowState
+	min int64
+
+	mu   sync.Mutex
+	last time.Time
+	val  float64
+}
+
+func (p *shadowProbe) value() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if now := time.Now(); p.last.IsZero() || now.Sub(p.last) > shadowProbeTTL {
+		rate, samples := p.st.stats.Agreement()
+		if p.st.cand.Load() == nil || samples < p.min {
+			rate = 1
+		}
+		p.val = rate
+		p.last = now
+	}
+	return p.val
+}
+
+// --- handlers ---
+
+func (s *Server) handleShadow(w http.ResponseWriter, r *http.Request) {
+	if s.shadow == nil {
+		writeJSON(w, http.StatusOK, shadow.Report{Verdict: shadow.VerdictDisabled})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.shadow.report())
+}
+
+func (s *Server) handleShadowLoad(w http.ResponseWriter, r *http.Request) {
+	if s.shadow == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: shadow scoring not configured"))
+		return
+	}
+	var req ShadowLoadRequest
+	if r.ContentLength != 0 {
+		if !s.decode(w, r, &req) {
+			return
+		}
+	}
+	path := req.Path
+	if path == "" {
+		path = s.shadow.currentPath()
+	}
+	if err := s.shadow.load(path); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "loaded", "path": path})
+}

@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shadow"
+)
+
+// perturbedModel rebuilds the deterministic fixture model and negates
+// every weight: values stay finite (so loading-style validation would
+// pass) but sigmoid rankings invert, guaranteeing decision-level
+// disagreement with the active model.
+func perturbedModel(t testing.TB) *core.Model {
+	t.Helper()
+	_, m := fixture(t)
+	for _, p := range m.AllParams() {
+		for i := range p.W.W {
+			p.W.W[i] = -p.W.W[i]
+		}
+	}
+	m.RefreshEmbeddings()
+	return m
+}
+
+// shadowTestServer starts a server with the candidate installed via
+// the boot path.
+func shadowTestServer(t testing.TB, m, cand *core.Model, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.Shadow.Loader = func(string) (*core.Model, error) { return cand, nil }
+	if cfg.Shadow.ModelPath == "" {
+		cfg.Shadow.ModelPath = "candidate"
+	}
+	return testServer(t, m, cfg)
+}
+
+func getShadowReport(t testing.TB, url string) shadow.Report {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/shadow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/shadow: %d", resp.StatusCode)
+	}
+	var r shadow.Report
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// waitShadowSamples polls the report until the asynchronous mirror has
+// recorded at least n samples.
+func waitShadowSamples(t testing.TB, url string, n int64) shadow.Report {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r := getShadowReport(t, url)
+		if r.Samples >= n {
+			return r
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shadow samples stuck at %d, want >= %d", r.Samples, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// With no shadow configured the endpoint still answers, as disabled.
+func TestShadowEndpointDisabled(t *testing.T) {
+	_, m := fixture(t)
+	_, ts := testServer(t, m, Config{})
+	r := getShadowReport(t, ts.URL)
+	if r.Enabled || r.Verdict != shadow.VerdictDisabled {
+		t.Fatalf("want disabled verdict, got %+v", r)
+	}
+}
+
+// Serving-path bytes must be identical with and without a shadow
+// candidate mirroring every request — shadow scoring is observable only
+// through its own surfaces.
+func TestShadowServingParity(t *testing.T) {
+	ds, m := fixture(t)
+	_, tsOff := testServer(t, m, Config{})
+	_, m2 := fixture(t)
+	cand := perturbedModel(t)
+	_, tsOn := shadowTestServer(t, m2, cand, Config{})
+
+	for _, tr := range ds.TestTrips() {
+		_, off := postJSON(t, tsOff.URL+"/v1/match", PointsRequest(tr.Cell))
+		_, on := postJSON(t, tsOn.URL+"/v1/match", PointsRequest(tr.Cell))
+		if !bytes.Equal(off, on) {
+			t.Fatalf("shadow-on response differs from shadow-off:\noff: %s\non:  %s", off, on)
+		}
+	}
+}
+
+// An identical-weights candidate must converge to agreement 1.0 and a
+// ready verdict.
+func TestShadowIdenticalCandidateReady(t *testing.T) {
+	ds, m := fixture(t)
+	_, cand := fixture(t) // deterministic rebuild: identical weights
+	_, ts := shadowTestServer(t, m, cand, Config{
+		Shadow: ShadowConfig{Thresholds: shadow.Thresholds{MinSamples: 3}},
+	})
+
+	trips := ds.TestTrips()
+	n := int64(0)
+	for i := 0; i < 3; i++ {
+		tr := trips[i%len(trips)]
+		resp, body := postJSON(t, ts.URL+"/v1/match", PointsRequest(tr.Cell))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("match: %d: %s", resp.StatusCode, body)
+		}
+		n++
+	}
+	r := waitShadowSamples(t, ts.URL, n)
+	if !r.Enabled {
+		t.Fatal("shadow not enabled")
+	}
+	if r.AgreementRate != 1 {
+		t.Fatalf("identical candidate agreement %v, want 1", r.AgreementRate)
+	}
+	if r.DigestMatchRate != 1 {
+		t.Fatalf("identical candidate digest match rate %v, want 1", r.DigestMatchRate)
+	}
+	if r.Verdict != shadow.VerdictReady {
+		t.Fatalf("verdict %q (reasons %v), want ready", r.Verdict, r.Reasons)
+	}
+}
+
+// A perturbed candidate must show agreement < 1.0, a not_ready verdict,
+// and a disagreement capture that replays byte-identically against the
+// active model (the forensics loop).
+func TestShadowPerturbedCandidateNotReady(t *testing.T) {
+	ds, m := fixture(t)
+	cand := perturbedModel(t)
+	capPath := filepath.Join(t.TempDir(), "shadow_diffs.jsonl")
+	capture, err := OpenCaptureFile(capPath, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer capture.Close()
+	srv, ts := shadowTestServer(t, m, cand, Config{
+		Shadow: ShadowConfig{
+			Capture:    capture,
+			Thresholds: shadow.Thresholds{MinSamples: 3},
+		},
+	})
+
+	trips := ds.TestTrips()
+	n := int64(0)
+	for i := 0; i < 4; i++ {
+		tr := trips[i%len(trips)]
+		resp, body := postJSON(t, ts.URL+"/v1/match", PointsRequest(tr.Cell))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("match: %d: %s", resp.StatusCode, body)
+		}
+		n++
+	}
+	r := waitShadowSamples(t, ts.URL, n)
+	if r.AgreementRate >= 1 {
+		t.Fatalf("perturbed candidate agreement %v, want < 1", r.AgreementRate)
+	}
+	if r.Disagreements == 0 {
+		t.Fatal("perturbed candidate recorded no disagreements")
+	}
+	if r.Verdict != shadow.VerdictNotReady {
+		t.Fatalf("verdict %q (reasons %v), want not_ready", r.Verdict, r.Reasons)
+	}
+
+	// Drain flushes every queued comparison, so the capture is complete.
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(capPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadCaptures(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("disagreement capture is empty")
+	}
+	// Each captured record must reproduce against the active model —
+	// exactly what `lhmm replay` checks.
+	for i := range recs {
+		rec := &recs[i]
+		ct, err := rec.Request.Trajectory(m.Cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Match(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(ResultJSON(res)); err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		if got := hex.EncodeToString(sum[:]); got != rec.Response.SHA256 {
+			t.Fatalf("capture %d does not reproduce: digest %s vs recorded %s", i, got, rec.Response.SHA256)
+		}
+	}
+}
+
+// Finished streaming sessions are mirrored too.
+func TestShadowStreamingSessions(t *testing.T) {
+	ds, m := fixture(t)
+	cand := perturbedModel(t)
+	_, ts := shadowTestServer(t, m, cand, Config{
+		Shadow: ShadowConfig{Thresholds: shadow.Thresholds{MinSamples: 1}},
+	})
+
+	tr := ds.TestTrips()[0]
+	resp, body := postJSON(t, ts.URL+"/v1/sessions", SessionRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session create: %d: %s", resp.StatusCode, body)
+	}
+	var sr SessionResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	req := PointsRequest(tr.Cell)
+	resp, body = postJSON(t, ts.URL+"/v1/sessions/"+sr.ID+"/points", PushRequest{Points: req.Points})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("push: %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/sessions/"+sr.ID+"/finish", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("finish: %d: %s", resp.StatusCode, body)
+	}
+
+	r := waitShadowSamples(t, ts.URL, 1)
+	if r.StreamSamples == 0 {
+		t.Fatalf("no stream samples mirrored: %+v", r)
+	}
+}
+
+// A failing candidate load must keep the previous candidate scoring —
+// the shadow version of corrupt-weights-keep-serving.
+func TestShadowLoadFailureKeepsCandidate(t *testing.T) {
+	_, m := fixture(t)
+	_, good := fixture(t)
+	loads := 0
+	cfg := Config{}
+	cfg.Shadow.Loader = func(path string) (*core.Model, error) {
+		loads++
+		if path == "good" {
+			return good, nil
+		}
+		return nil, errors.New("corrupt weights")
+	}
+	cfg.Shadow.ModelPath = "good"
+	_, ts := testServer(t, m, cfg)
+
+	r := getShadowReport(t, ts.URL)
+	if !r.Enabled || r.ModelPath != "good" {
+		t.Fatalf("boot candidate not installed: %+v", r)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/shadow/load", ShadowLoadRequest{Path: "bad"})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("bad load: %d: %s", resp.StatusCode, body)
+	}
+	r = getShadowReport(t, ts.URL)
+	if !r.Enabled || r.ModelPath != "good" {
+		t.Fatalf("failed load displaced candidate: %+v", r)
+	}
+	if loads != 2 {
+		t.Fatalf("loader called %d times, want 2", loads)
+	}
+}
+
+// POST /v1/shadow/load replaces the candidate at runtime and resets
+// the per-candidate aggregates.
+func TestShadowRuntimeLoadResets(t *testing.T) {
+	ds, m := fixture(t)
+	_, cand := fixture(t)
+	srv, ts := shadowTestServer(t, m, cand, Config{
+		Shadow: ShadowConfig{Thresholds: shadow.Thresholds{MinSamples: 1}},
+	})
+
+	tr := ds.TestTrips()[0]
+	postJSON(t, ts.URL+"/v1/match", PointsRequest(tr.Cell))
+	waitShadowSamples(t, ts.URL, 1)
+
+	resp, body := postJSON(t, ts.URL+"/v1/shadow/load", ShadowLoadRequest{Path: "candidate-2"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: %d: %s", resp.StatusCode, body)
+	}
+	// Quiesce the mirror before reading the reset aggregate — a stale
+	// in-flight comparison would race the assertion otherwise.
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r := getShadowReport(t, ts.URL)
+	if r.Samples != 0 {
+		t.Fatalf("samples %d after candidate reload, want 0 (reset)", r.Samples)
+	}
+	if r.ModelPath != "candidate-2" {
+		t.Fatalf("model path %q, want candidate-2", r.ModelPath)
+	}
+}

@@ -1,0 +1,413 @@
+package shadow
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Shadow telemetry. Counters and histograms are cumulative across
+// candidate loads (Prometheus convention: rates come from deltas);
+// the Stats aggregates below reset on every candidate load so the
+// promotion verdict reflects only the candidate currently loaded.
+var (
+	obsSamples        = obs.Default.Counter("shadow.samples")
+	obsStreamSamples  = obs.Default.Counter("shadow.samples.stream")
+	obsDropped        = obs.Default.Counter("shadow.dropped")
+	obsMirrorErrors   = obs.Default.Counter("shadow.mirror.errors")
+	obsPointsCompared = obs.Default.Counter("shadow.points.compared")
+	obsPointsAgreed   = obs.Default.Counter("shadow.points.agreed")
+	obsDigestMatch    = obs.Default.Counter("shadow.digest.matches")
+	obsDigestMismatch = obs.Default.Counter("shadow.digest.mismatches")
+	obsDisagreements  = obs.Default.Counter("shadow.disagreements")
+	obsCandFailures   = obs.Default.Counter("shadow.candidate.failures")
+	obsScoreDelta     = obs.Default.Histogram("shadow.score.delta", obs.UnitBuckets)
+	obsMarginDelta    = obs.Default.Histogram("shadow.margin.delta", marginDeltaBuckets)
+	obsCandSeconds    = obs.Default.Histogram("shadow.candidate.seconds", obs.LatencyBuckets)
+)
+
+// marginDeltaBuckets cover absolute margin deltas in nats; explain
+// margins are capped at ±50, so deltas land in [0, 100].
+var marginDeltaBuckets = []float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100}
+
+// activeStats is the Stats instance behind the scrape-time
+// lhmm_shadow_agreement_rate derived gauge: the mirror activates its
+// stats on creation, so the gauge tracks the live server's candidate.
+// Registered at package init so the metric-names lint and the
+// /metrics series set always include it (0.0 until a mirror exists).
+var activeStats atomic.Pointer[Stats]
+
+func init() {
+	obs.Default.Derived("shadow.agreement.rate", func() float64 {
+		s := activeStats.Load()
+		if s == nil {
+			return 0
+		}
+		r, _ := s.Agreement()
+		return r
+	})
+}
+
+// Stats aggregates comparisons for one candidate model. Safe for
+// concurrent use. Every Record also feeds the cumulative shadow.*
+// instruments on obs.Default.
+type Stats struct {
+	mu sync.Mutex
+
+	samples       int64
+	streamSamples int64
+	errors        int64
+	dropped       int64
+	candFailures  int64
+
+	points int64
+	agreed int64
+
+	digestMatch    int64
+	digestMismatch int64
+	disagreements  int64
+
+	activeDegraded int64
+	candDegraded   int64
+	activeGapped   int64
+	candGapped     int64
+
+	scoreDeltaN   int64
+	scoreDeltaSum float64
+	scoreDeltaMax float64
+
+	marginDeltaN      int64
+	marginDeltaSum    float64
+	marginDeltaAbsSum float64
+
+	lat    []int64 // per-obs.LatencyBuckets counts; candidate match latency
+	latSum float64
+}
+
+// NewStats creates an empty aggregate.
+func NewStats() *Stats {
+	return &Stats{lat: make([]int64, len(obs.LatencyBuckets)+1)}
+}
+
+// Activate makes this instance the one the lhmm_shadow_agreement_rate
+// derived gauge reads (latest wins — one live mirror per process).
+func (s *Stats) Activate() { activeStats.Store(s) }
+
+// Reset clears the per-candidate aggregates (a new candidate was
+// loaded; its verdict starts fresh). Cumulative obs counters are left
+// alone.
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples, s.streamSamples, s.errors, s.dropped, s.candFailures = 0, 0, 0, 0, 0
+	s.points, s.agreed = 0, 0
+	s.digestMatch, s.digestMismatch, s.disagreements = 0, 0, 0
+	s.activeDegraded, s.candDegraded, s.activeGapped, s.candGapped = 0, 0, 0, 0
+	s.scoreDeltaN, s.scoreDeltaSum, s.scoreDeltaMax = 0, 0, 0
+	s.marginDeltaN, s.marginDeltaSum, s.marginDeltaAbsSum = 0, 0, 0
+	for i := range s.lat {
+		s.lat[i] = 0
+	}
+	s.latSum = 0
+}
+
+// Record folds one comparison into the aggregates and the cumulative
+// instruments.
+func (s *Stats) Record(cmp *Comparison) {
+	obsSamples.Inc()
+	if cmp.Stream {
+		obsStreamSamples.Inc()
+	}
+	obsPointsCompared.Add(int64(cmp.Points))
+	obsPointsAgreed.Add(int64(cmp.Agreed))
+	if cmp.CandErr == nil {
+		if cmp.DigestMatch {
+			obsDigestMatch.Inc()
+		} else {
+			obsDigestMismatch.Inc()
+		}
+	} else {
+		obsCandFailures.Inc()
+	}
+	if cmp.Disagrees() {
+		obsDisagreements.Inc()
+	}
+	if cmp.ScoreDeltas > 0 {
+		obsScoreDelta.Observe(cmp.SumAbsScoreDelta / float64(cmp.ScoreDeltas))
+	}
+	if cmp.MarginDeltas > 0 {
+		obsMarginDelta.Observe(cmp.SumAbsMarginDelta / float64(cmp.MarginDeltas))
+	}
+	if cmp.CandLatency > 0 {
+		obsCandSeconds.Observe(cmp.CandLatency.Seconds())
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples++
+	if cmp.Stream {
+		s.streamSamples++
+	}
+	s.points += int64(cmp.Points)
+	s.agreed += int64(cmp.Agreed)
+	if cmp.CandErr == nil {
+		if cmp.DigestMatch {
+			s.digestMatch++
+		} else {
+			s.digestMismatch++
+		}
+	} else {
+		s.candFailures++
+	}
+	if cmp.Disagrees() {
+		s.disagreements++
+	}
+	if cmp.ActiveDegraded {
+		s.activeDegraded++
+	}
+	if cmp.CandDegraded {
+		s.candDegraded++
+	}
+	if cmp.ActiveGapped {
+		s.activeGapped++
+	}
+	if cmp.CandGapped {
+		s.candGapped++
+	}
+	s.scoreDeltaN += int64(cmp.ScoreDeltas)
+	s.scoreDeltaSum += cmp.SumAbsScoreDelta
+	if cmp.MaxAbsScoreDelta > s.scoreDeltaMax {
+		s.scoreDeltaMax = cmp.MaxAbsScoreDelta
+	}
+	s.marginDeltaN += int64(cmp.MarginDeltas)
+	s.marginDeltaSum += cmp.SumMarginDelta
+	s.marginDeltaAbsSum += cmp.SumAbsMarginDelta
+	if cmp.CandLatency > 0 {
+		v := cmp.CandLatency.Seconds()
+		i := 0
+		for i < len(obs.LatencyBuckets) && v > obs.LatencyBuckets[i] {
+			i++
+		}
+		s.lat[i]++
+		s.latSum += v
+	}
+}
+
+// RecordDrop counts a sampled request the mirror had to drop (queue
+// full — the serving path is never allowed to wait on shadow work).
+func (s *Stats) RecordDrop() {
+	obsDropped.Inc()
+	s.mu.Lock()
+	s.dropped++
+	s.mu.Unlock()
+}
+
+// RecordError counts a mirror-side failure that prevented a comparison
+// (the active re-run failing, an encoder error).
+func (s *Stats) RecordError() {
+	obsMirrorErrors.Inc()
+	s.mu.Lock()
+	s.errors++
+	s.mu.Unlock()
+}
+
+// Agreement returns the per-point agreement rate and the number of
+// samples behind it. With zero compared points the rate is 1 (no
+// evidence of divergence).
+func (s *Stats) Agreement() (rate float64, samples int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.points == 0 {
+		return 1, s.samples
+	}
+	return float64(s.agreed) / float64(s.points), s.samples
+}
+
+// Thresholds gate the promotion-readiness verdict. Zero values take
+// the documented defaults.
+type Thresholds struct {
+	// MinSamples gates the verdict: below it the report says
+	// insufficient_data (default 50).
+	MinSamples int `json:"min_samples"`
+	// MinAgreement is the minimum per-point agreement rate for a ready
+	// verdict (default 0.98).
+	MinAgreement float64 `json:"min_agreement"`
+	// MaxQualityRegression is the maximum allowed increase of the
+	// candidate's degraded/gap/failure rates over the active model's
+	// (default 0.05).
+	MaxQualityRegression float64 `json:"max_quality_regression"`
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.MinSamples <= 0 {
+		t.MinSamples = 50
+	}
+	if t.MinAgreement <= 0 {
+		t.MinAgreement = 0.98
+	}
+	if t.MaxQualityRegression <= 0 {
+		t.MaxQualityRegression = 0.05
+	}
+	return t
+}
+
+// Verdict values of a Report.
+const (
+	VerdictReady        = "ready"
+	VerdictNotReady     = "not_ready"
+	VerdictInsufficient = "insufficient_data"
+	VerdictDisabled     = "disabled"
+)
+
+// QualityRates are per-model windowed quality fractions over the
+// mirrored sample set.
+type QualityRates struct {
+	DegradedRate float64 `json:"degraded_rate"`
+	GapRate      float64 `json:"gap_rate"`
+	// FailureRate is the fraction of mirrored requests the model failed
+	// to answer (always 0 for the active model — it answered them live).
+	FailureRate float64 `json:"failure_rate"`
+}
+
+// LatencyQuantiles summarize the candidate's match latency.
+type LatencyQuantiles struct {
+	P50S  float64 `json:"p50_s"`
+	P95S  float64 `json:"p95_s"`
+	P99S  float64 `json:"p99_s"`
+	MeanS float64 `json:"mean_s"`
+}
+
+// Report is the GET /v1/shadow body (and the `lhmm replay -against`
+// output): the aggregate comparison plus the promotion verdict.
+type Report struct {
+	// Enabled reports whether a candidate model is loaded; the serving
+	// layer fills it together with the provenance fields.
+	Enabled   bool   `json:"enabled"`
+	ModelPath string `json:"model_path,omitempty"`
+	LoadedAt  string `json:"loaded_at,omitempty"`
+
+	Samples       int64 `json:"samples"`
+	StreamSamples int64 `json:"stream_samples,omitempty"`
+	Errors        int64 `json:"errors,omitempty"`
+	Dropped       int64 `json:"dropped,omitempty"`
+
+	PointsCompared int64   `json:"points_compared"`
+	PointsAgreed   int64   `json:"points_agreed"`
+	AgreementRate  float64 `json:"agreement_rate"`
+
+	DigestMatches   int64   `json:"digest_matches"`
+	DigestMismatch  int64   `json:"digest_mismatches"`
+	DigestMatchRate float64 `json:"digest_match_rate"`
+	Disagreements   int64   `json:"disagreements"`
+
+	MeanAbsScoreDelta  float64 `json:"mean_abs_score_delta"`
+	MaxAbsScoreDelta   float64 `json:"max_abs_score_delta"`
+	MeanMarginDelta    float64 `json:"mean_margin_delta"`
+	MeanAbsMarginDelta float64 `json:"mean_abs_margin_delta"`
+
+	Active    QualityRates `json:"active"`
+	Candidate QualityRates `json:"candidate"`
+
+	CandidateLatency LatencyQuantiles `json:"candidate_latency"`
+
+	// Verdict is "ready", "not_ready", "insufficient_data", or
+	// "disabled"; Reasons lists the violated thresholds behind a
+	// not_ready verdict.
+	Verdict    string     `json:"verdict"`
+	Reasons    []string   `json:"reasons,omitempty"`
+	Thresholds Thresholds `json:"thresholds"`
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Report computes the aggregate view and the promotion verdict under
+// the given thresholds.
+func (s *Stats) Report(t Thresholds) Report {
+	t = t.withDefaults()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	r := Report{
+		Samples:        s.samples,
+		StreamSamples:  s.streamSamples,
+		Errors:         s.errors,
+		Dropped:        s.dropped,
+		PointsCompared: s.points,
+		PointsAgreed:   s.agreed,
+		DigestMatches:  s.digestMatch,
+		DigestMismatch: s.digestMismatch,
+		Disagreements:  s.disagreements,
+		Thresholds:     t,
+	}
+	r.AgreementRate = 1
+	if s.points > 0 {
+		r.AgreementRate = float64(s.agreed) / float64(s.points)
+	}
+	if n := s.digestMatch + s.digestMismatch; n > 0 {
+		r.DigestMatchRate = float64(s.digestMatch) / float64(n)
+	}
+	if s.scoreDeltaN > 0 {
+		r.MeanAbsScoreDelta = s.scoreDeltaSum / float64(s.scoreDeltaN)
+	}
+	r.MaxAbsScoreDelta = s.scoreDeltaMax
+	if s.marginDeltaN > 0 {
+		r.MeanMarginDelta = s.marginDeltaSum / float64(s.marginDeltaN)
+		r.MeanAbsMarginDelta = s.marginDeltaAbsSum / float64(s.marginDeltaN)
+	}
+	r.Active = QualityRates{
+		DegradedRate: ratio(s.activeDegraded, s.samples),
+		GapRate:      ratio(s.activeGapped, s.samples),
+	}
+	r.Candidate = QualityRates{
+		DegradedRate: ratio(s.candDegraded, s.samples),
+		GapRate:      ratio(s.candGapped, s.samples),
+		FailureRate:  ratio(s.candFailures, s.samples),
+	}
+	r.CandidateLatency = LatencyQuantiles{
+		P50S: obs.BucketQuantile(obs.LatencyBuckets, s.lat, 0.50),
+		P95S: obs.BucketQuantile(obs.LatencyBuckets, s.lat, 0.95),
+		P99S: obs.BucketQuantile(obs.LatencyBuckets, s.lat, 0.99),
+	}
+	if n := countLat(s.lat); n > 0 {
+		r.CandidateLatency.MeanS = s.latSum / float64(n)
+	}
+
+	if s.samples < int64(t.MinSamples) {
+		r.Verdict = VerdictInsufficient
+		r.Reasons = append(r.Reasons, fmt.Sprintf("samples %d < min_samples %d", s.samples, t.MinSamples))
+		return r
+	}
+	if r.AgreementRate < t.MinAgreement {
+		r.Reasons = append(r.Reasons, fmt.Sprintf("agreement_rate %.4f < min_agreement %.4f", r.AgreementRate, t.MinAgreement))
+	}
+	if d := r.Candidate.DegradedRate - r.Active.DegradedRate; d > t.MaxQualityRegression {
+		r.Reasons = append(r.Reasons, fmt.Sprintf("degraded_rate regression %.4f > %.4f", d, t.MaxQualityRegression))
+	}
+	if d := r.Candidate.GapRate - r.Active.GapRate; d > t.MaxQualityRegression {
+		r.Reasons = append(r.Reasons, fmt.Sprintf("gap_rate regression %.4f > %.4f", d, t.MaxQualityRegression))
+	}
+	if r.Candidate.FailureRate > t.MaxQualityRegression {
+		r.Reasons = append(r.Reasons, fmt.Sprintf("candidate failure_rate %.4f > %.4f", r.Candidate.FailureRate, t.MaxQualityRegression))
+	}
+	if len(r.Reasons) > 0 {
+		r.Verdict = VerdictNotReady
+	} else {
+		r.Verdict = VerdictReady
+	}
+	return r
+}
+
+func countLat(lat []int64) int64 {
+	var n int64
+	for _, c := range lat {
+		n += c
+	}
+	return n
+}
